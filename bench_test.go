@@ -1,0 +1,171 @@
+package skinnymine_test
+
+// One benchmark per table and figure of the paper's evaluation
+// (Section 6); each wraps the corresponding internal/exp entry point at
+// a laptop-friendly scale. `go test -bench=. -benchmem` regenerates
+// every result; cmd/experiments prints the same data as tables and
+// supports -full for paper-scale parameters. EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+
+import (
+	"testing"
+
+	"skinnymine/internal/exp"
+)
+
+func benchCfg() exp.Config { return exp.Config{Seed: 1, Scale: 0.05} }
+
+// BenchmarkTables12_DataSettings regenerates the Table 1/2 data sets
+// (generation cost only; the settings themselves are constants).
+func BenchmarkTables12_DataSettings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunPatternDistribution(benchCfg(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDistribution(b *testing.B, gid int) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunPatternDistribution(benchCfg(), gid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Hists) != 4 {
+			b.Fatal("missing histograms")
+		}
+	}
+}
+
+// BenchmarkFig4_GID1 .. BenchmarkFig8_GID5 regenerate the pattern-size
+// distributions of Figures 4-8.
+func BenchmarkFig4_GID1(b *testing.B) { benchDistribution(b, 1) }
+func BenchmarkFig5_GID2(b *testing.B) { benchDistribution(b, 2) }
+func BenchmarkFig6_GID3(b *testing.B) { benchDistribution(b, 3) }
+func BenchmarkFig7_GID4(b *testing.B) { benchDistribution(b, 4) }
+func BenchmarkFig8_GID5(b *testing.B) { benchDistribution(b, 5) }
+
+// BenchmarkTable3_SkinninessLadder regenerates the Table 3 experiment.
+func BenchmarkTable3_SkinninessLadder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.RunSkinninessLadder(exp.Config{Seed: 5, Scale: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 10 {
+			b.Fatal("ladder incomplete")
+		}
+	}
+}
+
+// BenchmarkFig9_Transaction and BenchmarkFig10_Transaction regenerate
+// the graph-transaction comparison.
+func BenchmarkFig9_Transaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunTransaction(benchCfg(), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10_Transaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunTransaction(benchCfg(), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11_VsMoSS regenerates the SkinnyMine-vs-MoSS curve.
+func BenchmarkFig11_VsMoSS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunVsMoSS(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12_VsSUBDUE regenerates the SkinnyMine-vs-SUBDUE curve.
+func BenchmarkFig12_VsSUBDUE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunVsSUBDUE(exp.Config{Seed: 1, Scale: 0.02}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13_VsSpiderMine regenerates the SkinnyMine-vs-SpiderMine
+// curve.
+func BenchmarkFig13_VsSpiderMine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunVsSpiderMine(exp.Config{Seed: 1, Scale: 0.02}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14_Scalability regenerates the stage-split scalability
+// curve (Figure 15's pattern counts come with it).
+func BenchmarkFig14_Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.RunScalability(exp.Config{Seed: 2, Scale: 0.005})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 6 {
+			b.Fatal("missing points")
+		}
+	}
+}
+
+// BenchmarkFig16_DiamMineVsL regenerates the DiamMine runtime curve
+// (Figure 17's LevelGrow curve comes from the same run).
+func BenchmarkFig16_DiamMineVsL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunDiameterConstraint(exp.Config{Seed: 7, Scale: 0.05}, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig18_LevelGrowVsDelta regenerates the δ sweep (Figure 19's
+// largest-pattern sizes come from the same run).
+func BenchmarkFig18_LevelGrowVsDelta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunSkinninessConstraint(exp.Config{Seed: 9, Scale: 0.02}, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig20_RuntimeTable regenerates the five-algorithm runtime
+// table.
+func BenchmarkFig20_RuntimeTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.RunRuntimeTable(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 5 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkFig21_22_DBLP regenerates the DBLP case study.
+func BenchmarkFig21_22_DBLP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunDBLP(exp.Config{Seed: 11, Scale: 0.08}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig23_24_Weibo regenerates the Weibo case study.
+func BenchmarkFig23_24_Weibo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunWeibo(exp.Config{Seed: 13, Scale: 0.08}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command synthgen generates the paper's synthetic data sets in the
+// text graph format, for use with cmd/skinnymine or external tools.
+//
+//	synthgen -kind gid -gid 2 > gid2.txt         Table 1 settings
+//	synthgen -kind table3 > table3.txt           Table 3 ladder
+//	synthgen -kind er -n 10000 -deg 3 -f 10      plain Erdős–Rényi
+//	synthgen -kind dblp -graphs 100              DBLP-like timelines
+//	synthgen -kind weibo -graphs 200             Weibo-like conversations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"skinnymine/internal/graph"
+	"skinnymine/internal/synth"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "er", "er | gid | table3 | dblp | weibo")
+		seed   = flag.Int64("seed", 1, "random seed")
+		n      = flag.Int("n", 1000, "er: vertex count")
+		deg    = flag.Float64("deg", 3, "er: average degree")
+		f      = flag.Int("f", 10, "er: label count")
+		gid    = flag.Int("gid", 1, "gid: Table 1 row (1..5)")
+		scale  = flag.Float64("scale", 1.0, "table3: size scale")
+		graphs = flag.Int("graphs", 100, "dblp/weibo: graph count")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	var out []*graph.Graph
+	switch *kind {
+	case "er":
+		out = []*graph.Graph{synth.ER(rng, *n, *deg, *f)}
+	case "gid":
+		if *gid < 1 || *gid > 5 {
+			fatal(fmt.Errorf("gid must be 1..5"))
+		}
+		g, _ := synth.BuildGID(rng, synth.GIDSettings[*gid-1])
+		out = []*graph.Graph{g}
+	case "table3":
+		g, _ := synth.BuildTable3(rng, *scale)
+		out = []*graph.Graph{g}
+	case "dblp":
+		out = synth.DBLP(rng, synth.DBLPOptions{Authors: *graphs, Years: 21, Archetypes: *graphs / 4})
+	case "weibo":
+		out = synth.Weibo(rng, synth.WeiboOptions{
+			Conversations: *graphs, AvgSize: 30,
+			ChainConversations: *graphs / 5, ChainLength: 13,
+		})
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	if err := graph.WriteText(os.Stdout, out...); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "synthgen:", err)
+	os.Exit(1)
+}

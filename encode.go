@@ -1,0 +1,71 @@
+package skinnymine
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// PatternJSON is the serialized form of a mined pattern. Vertices 0..l
+// are the canonical diameter in order; Edges reference vertex indices.
+type PatternJSON struct {
+	Support        int        `json:"support"`
+	DiameterLength int        `json:"diameter_length"`
+	Skinniness     int        `json:"skinniness"`
+	Labels         []string   `json:"labels"`
+	Edges          [][2]int32 `json:"edges"`
+	Backbone       []string   `json:"backbone"`
+}
+
+// ToJSON converts the pattern into its serializable form.
+func (p *Pattern) ToJSON() PatternJSON {
+	labels := make([]string, p.Vertices())
+	for v := range labels {
+		labels[v] = p.VertexLabel(VertexID(v))
+	}
+	edges := make([][2]int32, 0, p.Edges())
+	for _, e := range p.EdgeList() {
+		edges = append(edges, [2]int32{int32(e[0]), int32(e[1])})
+	}
+	return PatternJSON{
+		Support:        p.Support(),
+		DiameterLength: p.DiameterLength(),
+		Skinniness:     p.Skinniness(),
+		Labels:         labels,
+		Edges:          edges,
+		Backbone:       p.Backbone(),
+	}
+}
+
+// ResultJSON is the serialized form of a mining result.
+type ResultJSON struct {
+	Patterns []PatternJSON `json:"patterns"`
+	Stats    StatsJSON     `json:"stats"`
+}
+
+// StatsJSON carries the headline mining statistics.
+type StatsJSON struct {
+	DiamMineMillis  float64 `json:"diammine_ms"`
+	LevelGrowMillis float64 `json:"levelgrow_ms"`
+	PathsMined      int     `json:"paths_mined"`
+	Generated       int     `json:"generated"`
+	Duplicates      int     `json:"duplicates"`
+}
+
+// WriteJSON serializes the result as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	out := ResultJSON{
+		Stats: StatsJSON{
+			DiamMineMillis:  float64(r.Stats.DiamMineTime.Microseconds()) / 1000,
+			LevelGrowMillis: float64(r.Stats.LevelGrowTime.Microseconds()) / 1000,
+			PathsMined:      r.Stats.PathsMined,
+			Generated:       r.Stats.Generated,
+			Duplicates:      r.Stats.Duplicates,
+		},
+	}
+	for _, p := range r.Patterns {
+		out.Patterns = append(out.Patterns, p.ToJSON())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

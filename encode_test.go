@@ -1,0 +1,66 @@
+package skinnymine
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteJSONRoundtrip(t *testing.T) {
+	g := buildTrajectoryGraph(t)
+	res, err := Mine(g, Options{Support: 2, Length: 4, Delta: 1, MaximalOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed ResultJSON
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed.Patterns) != len(res.Patterns) {
+		t.Fatalf("pattern count %d, want %d", len(parsed.Patterns), len(res.Patterns))
+	}
+	for i, pj := range parsed.Patterns {
+		p := res.Patterns[i]
+		if pj.Support != p.Support() || pj.DiameterLength != p.DiameterLength() {
+			t.Error("pattern metadata mismatch")
+		}
+		if len(pj.Labels) != p.Vertices() || len(pj.Edges) != p.Edges() {
+			t.Error("pattern structure mismatch")
+		}
+		if len(pj.Backbone) != pj.DiameterLength+1 {
+			t.Error("backbone length mismatch")
+		}
+	}
+	if parsed.Stats.PathsMined == 0 {
+		t.Error("stats missing")
+	}
+}
+
+func TestPatternToJSONLabels(t *testing.T) {
+	g := NewGraph()
+	a := g.AddVertex("alpha")
+	b := g.AddVertex("beta")
+	c := g.AddVertex("gamma")
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddEdge(a, b))
+	must(g.AddEdge(b, c))
+	res, err := Mine(g, Options{Support: 1, Length: 2, Delta: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 1 {
+		t.Fatalf("got %d patterns", len(res.Patterns))
+	}
+	pj := res.Patterns[0].ToJSON()
+	if pj.Labels[0] != "alpha" && pj.Labels[0] != "gamma" {
+		t.Errorf("backbone head label %q", pj.Labels[0])
+	}
+}

@@ -1,0 +1,73 @@
+// Quickstart: mine l-long δ-skinny patterns from a toy city graph.
+//
+// Two neighborhoods share the same popular walking route
+// (station → cafe → park → museum → theater → plaza) with side
+// attractions hanging off it. SkinnyMine recovers the route (the
+// pattern backbone) together with the attractions (the twigs).
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"skinnymine"
+)
+
+func main() {
+	g := skinnymine.NewGraph()
+
+	route := []string{"station", "cafe", "park", "museum", "theater", "plaza"}
+	attractions := map[int]string{1: "bakery", 3: "gallery"}
+
+	// Two copies of the route, each with its side attractions.
+	for copyi := 0; copyi < 2; copyi++ {
+		var stops []skinnymine.VertexID
+		for i, label := range route {
+			v := g.AddVertex(label)
+			stops = append(stops, v)
+			if i > 0 {
+				must(g.AddEdge(stops[i-1], v))
+			}
+		}
+		for at, label := range attractions {
+			a := g.AddVertex(label)
+			must(g.AddEdge(stops[at], a))
+		}
+	}
+	// Some unrelated streets.
+	x := g.AddVertex("warehouse")
+	y := g.AddVertex("depot")
+	must(g.AddEdge(x, y))
+
+	res, err := skinnymine.Mine(g, skinnymine.Options{
+		Support: 2, // appear at least twice
+		Length:  5, // backbone of five hops
+		Delta:   1, // attractions at most one hop off the route
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.M())
+	fmt.Printf("found %d frequent 5-long 1-skinny patterns\n\n", len(res.Patterns))
+	var largest *skinnymine.Pattern
+	for _, p := range res.Patterns {
+		if largest == nil || p.Vertices() > largest.Vertices() {
+			largest = p
+		}
+	}
+	fmt.Println("largest pattern:", largest)
+	fmt.Println("backbone:       ", strings.Join(largest.Backbone(), " → "))
+	fmt.Println("edges:          ", largest.EdgeList())
+	fmt.Printf("\nstage timings: DiamMine=%v LevelGrow=%v\n",
+		res.Stats.DiamMineTime, res.Stats.LevelGrowTime)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

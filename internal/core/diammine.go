@@ -1,0 +1,384 @@
+// Package core implements SkinnyMine (Zhu, Zhang & Qu, SIGMOD 2013): the
+// two-stage direct mining algorithm for l-long δ-skinny frequent graph
+// patterns, together with the generalized direct mining framework
+// (Section 5 of the paper).
+//
+// Stage I (DiamMine, Algorithm 2) mines all frequent simple paths of
+// length l — the minimal constraint-satisfying patterns — by
+// progressively concatenating frequent paths of power-of-two lengths and
+// merging two overlapping 2^k-paths for the final length. Stage II
+// (LevelGrow, Algorithm 3) grows each such path, which is the canonical
+// diameter of everything grown from it, level by level while maintaining
+// Loop Invariant 1 through Constraints I–III.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"skinnymine/internal/graph"
+)
+
+// PathEmb is one oriented embedding of a path pattern: the graph it lives
+// in (GID, 0 for the single-graph setting) and the vertex sequence.
+type PathEmb struct {
+	GID int32
+	Seq graph.Path
+}
+
+// key returns an exact key for the oriented sequence.
+func (p PathEmb) key() string {
+	b := make([]byte, 0, 4+len(p.Seq)*4)
+	b = append4(b, p.GID)
+	for _, v := range p.Seq {
+		b = append4(b, v)
+	}
+	return string(b)
+}
+
+// subgraphKey returns an orientation-independent key: both orientations
+// of the same path subgraph collide.
+func (p PathEmb) subgraphKey() string {
+	n := len(p.Seq)
+	rev := make(graph.Path, n)
+	for i, v := range p.Seq {
+		rev[n-1-i] = v
+	}
+	seq := p.Seq
+	for i := 0; i < n; i++ {
+		if rev[i] != seq[i] {
+			if rev[i] < seq[i] {
+				seq = rev
+			}
+			break
+		}
+	}
+	b := make([]byte, 0, 4+n*4)
+	b = append4(b, p.GID)
+	for _, v := range seq {
+		b = append4(b, v)
+	}
+	return string(b)
+}
+
+func append4(b []byte, v int32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// PathPattern is a frequent path pattern: its canonical label sequence
+// and all oriented embeddings (each path subgraph contributes both
+// traversal orders, so joins are symmetric). Support counts distinct
+// subgraphs.
+type PathPattern struct {
+	Seq     []graph.Label
+	Embs    []PathEmb
+	Support int
+}
+
+// Length returns the path length in edges.
+func (p *PathPattern) Length() int { return len(p.Seq) - 1 }
+
+// pathBucket accumulates oriented embeddings for one candidate pattern.
+type pathBucket struct {
+	seq       []graph.Label
+	embs      []PathEmb
+	seen      map[string]struct{} // exact oriented keys
+	subgraphs map[string]struct{} // orientation-independent keys
+}
+
+func newPathBucket(seq []graph.Label) *pathBucket {
+	return &pathBucket{
+		seq:       seq,
+		seen:      make(map[string]struct{}),
+		subgraphs: make(map[string]struct{}),
+	}
+}
+
+func (b *pathBucket) add(e PathEmb) {
+	k := e.key()
+	if _, dup := b.seen[k]; dup {
+		return
+	}
+	b.seen[k] = struct{}{}
+	b.subgraphs[e.subgraphKey()] = struct{}{}
+	b.embs = append(b.embs, e)
+}
+
+// DiamMiner mines frequent simple paths (Algorithm 2) over one or more
+// data graphs and caches the power-of-two levels so that repeated
+// requests for different lengths — the paper's direct mining usage
+// pattern (Figure 2) — reuse work.
+type DiamMiner struct {
+	graphs  []*graph.Graph
+	support int
+	levels  map[int][]*PathPattern // key: length (powers of two and served l)
+}
+
+// NewDiamMiner returns a miner over the given graphs with threshold σ.
+func NewDiamMiner(graphs []*graph.Graph, support int) (*DiamMiner, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("core: DiamMiner needs at least one graph")
+	}
+	if support < 1 {
+		return nil, fmt.Errorf("core: support threshold must be >= 1, got %d", support)
+	}
+	return &DiamMiner{
+		graphs:  graphs,
+		support: support,
+		levels:  make(map[int][]*PathPattern),
+	}, nil
+}
+
+// Mine returns all frequent simple paths of length exactly l, sorted by
+// canonical label sequence. Results are cached per length.
+func (m *DiamMiner) Mine(l int) ([]*PathPattern, error) {
+	if l < 1 {
+		return nil, fmt.Errorf("core: path length must be >= 1, got %d", l)
+	}
+	if got, ok := m.levels[l]; ok {
+		return got, nil
+	}
+	// Powers of two up to l.
+	k := 1
+	for k*2 <= l {
+		k *= 2
+	}
+	if err := m.ensurePowers(k); err != nil {
+		return nil, err
+	}
+	if l == k {
+		return m.levels[l], nil
+	}
+	merged := m.merge(m.levels[k], l, k)
+	m.levels[l] = merged
+	return merged, nil
+}
+
+// MaxFrequentLength returns the largest l for which a frequent path
+// exists (scanning upward from 1); 0 if even single edges are infrequent.
+func (m *DiamMiner) MaxFrequentLength(limit int) (int, error) {
+	best := 0
+	for l := 1; l <= limit; l++ {
+		ps, err := m.Mine(l)
+		if err != nil {
+			return 0, err
+		}
+		if len(ps) == 0 {
+			break
+		}
+		best = l
+	}
+	return best, nil
+}
+
+// ensurePowers fills m.levels for lengths 1, 2, 4, ..., upto.
+func (m *DiamMiner) ensurePowers(upto int) error {
+	if _, ok := m.levels[1]; !ok {
+		m.levels[1] = m.frequentEdges()
+	}
+	for l := 2; l <= upto; l *= 2 {
+		if _, ok := m.levels[l]; ok {
+			continue
+		}
+		m.levels[l] = m.concat(m.levels[l/2])
+	}
+	return nil
+}
+
+// frequentEdges mines all frequent paths of length 1.
+func (m *DiamMiner) frequentEdges() []*PathPattern {
+	buckets := make(map[string]*pathBucket)
+	for gi, g := range m.graphs {
+		gid := int32(gi)
+		for _, e := range g.Edges() {
+			for _, or := range [2][2]graph.V{{e.U, e.W}, {e.W, e.U}} {
+				seq := []graph.Label{g.Label(or[0]), g.Label(or[1])}
+				key := graph.LabelSeqKey(graph.CanonicalLabelSeq(seq))
+				b, ok := buckets[key]
+				if !ok {
+					b = newPathBucket(graph.CanonicalLabelSeq(seq))
+					buckets[key] = b
+				}
+				b.add(PathEmb{GID: gid, Seq: graph.Path{or[0], or[1]}})
+			}
+		}
+	}
+	return m.collect(buckets)
+}
+
+// concat joins pairs of frequent paths of length L end-to-end into
+// candidate paths of length 2L (Algorithm 2 lines 2–7). Because every
+// pattern stores both orientations of every embedding, a single
+// last-vertex index covers all of CheckConcat's cases.
+func (m *DiamMiner) concat(prev []*PathPattern) []*PathPattern {
+	type vkey struct {
+		gid int32
+		v   graph.V
+	}
+	byFirst := make(map[vkey][]PathEmb)
+	for _, p := range prev {
+		for _, e := range p.Embs {
+			k := vkey{e.GID, e.Seq[0]}
+			byFirst[k] = append(byFirst[k], e)
+		}
+	}
+	buckets := make(map[string]*pathBucket)
+	var inA map[graph.V]struct{}
+	for _, p := range prev {
+		for _, a := range p.Embs {
+			if inA == nil {
+				inA = make(map[graph.V]struct{}, len(a.Seq)*2)
+			} else {
+				clear(inA)
+			}
+			for _, v := range a.Seq {
+				inA[v] = struct{}{}
+			}
+			joint := a.Seq[len(a.Seq)-1]
+			for _, b := range byFirst[vkey{a.GID, joint}] {
+				if !disjointAfterJoint(inA, b.Seq) {
+					continue
+				}
+				comb := make(graph.Path, 0, len(a.Seq)+len(b.Seq)-1)
+				comb = append(comb, a.Seq...)
+				comb = append(comb, b.Seq[1:]...)
+				m.bucketAdd(buckets, PathEmb{GID: a.GID, Seq: comb})
+			}
+		}
+	}
+	return m.collect(buckets)
+}
+
+// merge overlaps two length-m paths to form paths of length l with
+// overlap o = 2m-l (Algorithm 2 lines 9–17). The single prefix index
+// covers both CheckMergeHead and CheckMergeTail because both orientations
+// of every embedding are stored.
+func (m *DiamMiner) merge(pool []*PathPattern, l, pm int) []*PathPattern {
+	o := 2*pm - l // overlap in edges, >= 1
+	type pkey struct {
+		gid int32
+		k   string
+	}
+	byPrefix := make(map[pkey][]PathEmb)
+	for _, p := range pool {
+		for _, e := range p.Embs {
+			byPrefix[pkey{e.GID, vertexTupleKey(e.Seq[:o+1])}] = append(
+				byPrefix[pkey{e.GID, vertexTupleKey(e.Seq[:o+1])}], e)
+		}
+	}
+	buckets := make(map[string]*pathBucket)
+	var inA map[graph.V]struct{}
+	for _, p := range pool {
+		for _, a := range p.Embs {
+			suffix := a.Seq[len(a.Seq)-o-1:]
+			cands := byPrefix[pkey{a.GID, vertexTupleKey(suffix)}]
+			if len(cands) == 0 {
+				continue
+			}
+			if inA == nil {
+				inA = make(map[graph.V]struct{}, len(a.Seq)*2)
+			} else {
+				clear(inA)
+			}
+			for _, v := range a.Seq {
+				inA[v] = struct{}{}
+			}
+			for _, b := range cands {
+				if !disjointAfterOverlap(inA, b.Seq, o) {
+					continue
+				}
+				comb := make(graph.Path, 0, l+1)
+				comb = append(comb, a.Seq...)
+				comb = append(comb, b.Seq[o+1:]...)
+				m.bucketAdd(buckets, PathEmb{GID: a.GID, Seq: comb})
+			}
+		}
+	}
+	return m.collect(buckets)
+}
+
+func (m *DiamMiner) bucketAdd(buckets map[string]*pathBucket, e PathEmb) {
+	seq := make([]graph.Label, len(e.Seq))
+	g := m.graphs[e.GID]
+	for i, v := range e.Seq {
+		seq[i] = g.Label(v)
+	}
+	canon := graph.CanonicalLabelSeq(seq)
+	key := graph.LabelSeqKey(canon)
+	b, ok := buckets[key]
+	if !ok {
+		b = newPathBucket(canon)
+		buckets[key] = b
+	}
+	b.add(e)
+}
+
+// collect applies the frequency threshold and sorts patterns.
+func (m *DiamMiner) collect(buckets map[string]*pathBucket) []*PathPattern {
+	var out []*PathPattern
+	for _, b := range buckets {
+		sup := len(b.subgraphs)
+		if sup < m.support {
+			continue
+		}
+		sort.Slice(b.embs, func(i, j int) bool {
+			if b.embs[i].GID != b.embs[j].GID {
+				return b.embs[i].GID < b.embs[j].GID
+			}
+			return comparePaths(b.embs[i].Seq, b.embs[j].Seq) < 0
+		})
+		out = append(out, &PathPattern{Seq: b.seq, Embs: b.embs, Support: sup})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return graph.CompareLabelSeqs(out[i].Seq, out[j].Seq) < 0
+	})
+	return out
+}
+
+func comparePaths(a, b graph.Path) int {
+	for i := range a {
+		if i >= len(b) {
+			return 1
+		}
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
+}
+
+// disjointAfterJoint reports whether seq's vertices beyond its first are
+// all absent from the set inA.
+func disjointAfterJoint(inA map[graph.V]struct{}, seq graph.Path) bool {
+	for _, v := range seq[1:] {
+		if _, hit := inA[v]; hit {
+			return false
+		}
+	}
+	return true
+}
+
+// disjointAfterOverlap reports whether seq's vertices beyond position o
+// are all absent from inA.
+func disjointAfterOverlap(inA map[graph.V]struct{}, seq graph.Path, o int) bool {
+	for _, v := range seq[o+1:] {
+		if _, hit := inA[v]; hit {
+			return false
+		}
+	}
+	return true
+}
+
+func vertexTupleKey(seq graph.Path) string {
+	b := make([]byte, 0, len(seq)*4)
+	for _, v := range seq {
+		b = append4(b, v)
+	}
+	return string(b)
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"sort"
+
+	"skinnymine/internal/graph"
+	"skinnymine/internal/support"
+)
+
+// LevelGrow (Algorithm 3): grow a pattern by all valid combinations of
+// level-i edges. Iteration i may add only
+//
+//	(a) a forward edge attaching a new vertex to an (i-1)-level vertex
+//	    (the new vertex is exactly i-level: its sole edge fixes its
+//	    distance to the diameter), or
+//	(b) a backward edge between existing vertices whose levels are
+//	    {i-1, i} or {i, i}.
+//
+// Neither kind can change any existing vertex's level: a path through
+// the new edge to the diameter costs at least min(level(u), level(v))+1,
+// which never undercuts a level (adjacent levels differ by at most one).
+//
+// Extensions are enumerated in canonical descriptor order and each
+// pattern only extends with descriptors >= its anchor (Panchor), so each
+// edge set is assembled in exactly one order within a cluster.
+
+// candidates collects the distinct valid extension descriptors of p at
+// the given level, sorted, using the stored embedding maps so only
+// data-supported extensions appear.
+func (m *miner) candidates(p *Pattern, level int32) []extDesc {
+	seen := make(map[extDesc]struct{})
+	n := int32(p.G.N())
+	for _, e := range p.Embs.Embeddings() {
+		g := m.graphs[e.GID]
+		inv := make(map[graph.V]int32, len(e.Map))
+		for pi, dv := range e.Map {
+			inv[dv] = int32(pi)
+		}
+		for pi := int32(0); pi < n; pi++ {
+			lv := p.Level[pi]
+			if lv != level-1 && lv != level {
+				continue
+			}
+			dv := e.Map[pi]
+			for _, w := range g.Neighbors(dv) {
+				if qj, mapped := inv[w]; mapped {
+					// Backward edge candidate between pattern vertices.
+					if p.G.HasEdge(graph.V(pi), graph.V(qj)) {
+						continue
+					}
+					lu, lw := lv, p.Level[qj]
+					if lu > lw {
+						lu, lw = lw, lu
+					}
+					if lw != level || lu < level-1 {
+						continue
+					}
+					a, b := pi, qj
+					if a > b {
+						a, b = b, a
+					}
+					seen[extDesc{kind: 0, src: a, dst: b}] = struct{}{}
+				} else if lv == level-1 {
+					// Forward edge candidate: new vertex at this level.
+					seen[extDesc{kind: 1, src: pi, dst: -1, label: g.Label(w)}] = struct{}{}
+				}
+			}
+		}
+	}
+	out := make([]extDesc, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return compareDesc(out[i], out[j]) < 0 })
+	return out
+}
+
+// extend applies descriptor d to p at the given level, checks the three
+// constraints and the frequency threshold, and returns the child pattern
+// or nil with the reason.
+func (m *miner) extend(p *Pattern, d extDesc, level int32) (*Pattern, rejectReason) {
+	g := p.G.Clone()
+	child := &Pattern{
+		G:         g,
+		DiamLen:   p.DiamLen,
+		anchor:    d,
+		hasAnchor: true,
+	}
+	if d.kind == 1 {
+		u := g.AddVertex(d.label)
+		g.MustAddEdge(graph.V(d.src), u)
+		child.Level = append(append([]int32(nil), p.Level...), level)
+		child.DH = append(append([]int32(nil), p.DH...), p.DH[d.src]+1)
+		child.DT = append(append([]int32(nil), p.DT...), p.DT[d.src]+1)
+		if r := m.check.checkForward(g, p.DiamLen, child.DH, child.DT, u, graph.V(d.src)); r != passed {
+			return nil, r
+		}
+	} else {
+		g.MustAddEdge(graph.V(d.src), graph.V(d.dst))
+		child.Level = append([]int32(nil), p.Level...)
+		// Distances only shrink; refresh the two indices from scratch
+		// (the pattern is small). This is the paper's "local update" of
+		// D_H and D_T, as opposed to all-pairs recomputation.
+		child.DH = g.BFS(0)
+		child.DT = g.BFS(graph.V(p.DiamLen))
+		if r := m.check.checkBackward(g, p.DiamLen, child.DH, child.DT, graph.V(d.src), graph.V(d.dst)); r != passed {
+			return nil, r
+		}
+	}
+
+	// Frequency: derive the child's embeddings from the parent's maps.
+	child.Embs = support.NewSet(g.Edges(), m.opt.MaxEmbeddings)
+	for _, e := range p.Embs.Embeddings() {
+		dg := m.graphs[e.GID]
+		if d.kind == 0 {
+			if dg.HasEdge(e.Map[d.src], e.Map[d.dst]) {
+				child.Embs.Add(e) // same map, richer edge set
+			}
+			continue
+		}
+		src := e.Map[d.src]
+		for _, w := range dg.Neighbors(src) {
+			if dg.Label(w) != d.label {
+				continue
+			}
+			if inMap(e.Map, w) {
+				continue
+			}
+			ext := support.Embedding{GID: e.GID, Map: append(append([]graph.V(nil), e.Map...), w)}
+			child.Embs.Add(ext)
+		}
+	}
+	if child.Embs.Count(m.opt.Measure) < m.opt.Support {
+		return nil, passed // frequency reject, signalled by nil child
+	}
+	return child, passed
+}
+
+func inMap(m []graph.V, w graph.V) bool {
+	for _, v := range m {
+		if v == w {
+			return true
+		}
+	}
+	return false
+}
+
+// greedyLevelGrow absorbs valid frequent level-i extensions into one
+// maximal pattern (Options.GreedyGrow).
+func (m *miner) greedyLevelGrow(p *Pattern, level int32) []*Pattern {
+	cur := p
+	grew := false
+	for {
+		applied := false
+		for _, d := range m.candidates(cur, level) {
+			m.stats.ExtensionsTried++
+			child, reason := m.extend(cur, d, level)
+			switch reason {
+			case rejectI:
+				m.stats.ConstraintRejects[0]++
+			case rejectII:
+				m.stats.ConstraintRejects[1]++
+			case rejectIII:
+				m.stats.ConstraintRejects[2]++
+			}
+			if child == nil {
+				if reason == passed {
+					m.stats.FrequencyRejects++
+				}
+				continue
+			}
+			cur = child
+			applied = true
+			grew = true
+			break // recompute candidates against the grown pattern
+		}
+		if !applied {
+			break
+		}
+	}
+	if !grew {
+		return nil
+	}
+	m.stats.Generated++
+	if !m.dedup(cur) {
+		m.stats.Duplicates++
+		return nil
+	}
+	return []*Pattern{cur}
+}
+
+// levelGrow expands p with every valid non-empty set of level-i edges,
+// returning all distinct (by canonical code) valid frequent children,
+// transitively.
+func (m *miner) levelGrow(p *Pattern, level int32) []*Pattern {
+	if m.opt.GreedyGrow {
+		return m.greedyLevelGrow(p, level)
+	}
+	var out []*Pattern
+	frontier := []*Pattern{p}
+	for len(frontier) > 0 {
+		var next []*Pattern
+		for _, cur := range frontier {
+			for _, d := range m.candidates(cur, level) {
+				if cur.hasAnchor && compareDesc(d, cur.anchor) < 0 {
+					continue
+				}
+				m.stats.ExtensionsTried++
+				child, reason := m.extend(cur, d, level)
+				switch reason {
+				case rejectI:
+					m.stats.ConstraintRejects[0]++
+				case rejectII:
+					m.stats.ConstraintRejects[1]++
+				case rejectIII:
+					m.stats.ConstraintRejects[2]++
+				}
+				if child == nil {
+					if reason == passed {
+						m.stats.FrequencyRejects++
+					}
+					continue
+				}
+				m.stats.Generated++
+				if !m.dedup(child) {
+					m.stats.Duplicates++
+					continue
+				}
+				if !m.consumeBudget() {
+					out = append(out, next...)
+					return append(out, child)
+				}
+				next = append(next, child)
+			}
+		}
+		out = append(out, next...)
+		frontier = next
+	}
+	return out
+}

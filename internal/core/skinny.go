@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skinnymine/internal/dfscode"
+	"skinnymine/internal/graph"
+	"skinnymine/internal/support"
+)
+
+// Options configures SkinnyMine.
+type Options struct {
+	// Support is the frequency threshold σ (>= 1).
+	Support int
+	// Length is the diameter length constraint l (>= 1). When MinLength
+	// is set (> 0), lengths MinLength..Length are all mined, matching the
+	// paper's "diameter between l1 and l2" request; otherwise exactly
+	// Length.
+	Length    int
+	MinLength int
+	// Delta is the skinniness bound δ. Negative means unbounded (grow
+	// until no frequent extension remains).
+	Delta int
+	// CheckMode selects constraint maintenance (default CheckFast).
+	CheckMode CheckMode
+	// Measure selects support counting (default EmbeddingCount; use
+	// GraphCount for transaction databases).
+	Measure support.Measure
+	// MaxEmbeddings caps stored embeddings per pattern (0 = unlimited).
+	MaxEmbeddings int
+	// MaxPatterns aborts mining after this many result patterns
+	// (0 = unlimited); a safety valve for exploratory runs.
+	MaxPatterns int
+	// ClosedOnly keeps only closed patterns (no super-pattern in the
+	// result with equal support), per Algorithm 3 line 12.
+	ClosedOnly bool
+	// GreedyGrow grows each canonical diameter maximally instead of
+	// enumerating every valid edge subset: at each level, all valid
+	// frequent extensions are absorbed into a single pattern. Output is
+	// then one maximal pattern per seed rather than the complete result
+	// set — the behavior the paper's pattern-recovery experiments
+	// (Figures 4–10, Table 3) imply, since full subset enumeration of a
+	// 40-vertex injected pattern is exponential while their reported
+	// runtimes are sub-second.
+	GreedyGrow bool
+	// ValidateOutput re-verifies every emitted pattern against the
+	// definition with a from-scratch canonical-diameter computation.
+	// Cheap relative to mining; on by default via DefaultOptions.
+	ValidateOutput bool
+	// MaxLevels bounds growth when Delta < 0 (default 32).
+	MaxLevels int
+	// Workers runs Stage II growth of different canonical diameters in
+	// parallel (0 or 1 = sequential). Results are deterministic: output
+	// order follows seed order regardless of scheduling.
+	Workers int
+}
+
+// DefaultOptions returns the recommended defaults for (l,δ)-SPM.
+func DefaultOptions(sigma, length, delta int) Options {
+	return Options{
+		Support:        sigma,
+		Length:         length,
+		Delta:          delta,
+		CheckMode:      CheckFast,
+		Measure:        support.EmbeddingCount,
+		ValidateOutput: true,
+		MaxLevels:      32,
+	}
+}
+
+// Stats reports what mining did; Figures 14, 16 and 17 are built from
+// the stage timings and counts.
+type Stats struct {
+	DiamMineTime      time.Duration
+	LevelGrowTime     time.Duration
+	PathsMined        int    // |S0|
+	ExtensionsTried   int    // candidate extensions examined
+	Generated         int    // patterns passing constraints + frequency
+	Duplicates        int    // canonical-code duplicates discarded
+	ConstraintRejects [3]int // per Constraint I, II, III
+	FrequencyRejects  int
+	CheckMismatches   int // CheckVerify disagreements (fast vs naive)
+	OutputInvalid     int // patterns failing final validation
+}
+
+// Result is the output of a mining run.
+type Result struct {
+	Patterns []*Pattern
+	Stats    Stats
+}
+
+type miner struct {
+	graphs []*graph.Graph
+	opt    Options
+	check  checker
+	stats  *Stats
+	codes  *codeSet
+	budget *atomic.Int64 // remaining MaxPatterns budget; nil = unlimited
+}
+
+// consumeBudget reserves one output slot, reporting false when the
+// MaxPatterns budget is exhausted. Shared across workers.
+func (m *miner) consumeBudget() bool {
+	if m.budget == nil {
+		return true
+	}
+	return m.budget.Add(-1) >= 0
+}
+
+// codeSet is the canonical-code dedup set, mutex-guarded so parallel
+// seed growth shares it.
+type codeSet struct {
+	mu sync.Mutex
+	m  map[string]struct{}
+}
+
+func newCodeSet() *codeSet { return &codeSet{m: make(map[string]struct{})} }
+
+func (c *codeSet) insert(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.m[key]; dup {
+		return false
+	}
+	c.m[key] = struct{}{}
+	return true
+}
+
+// add merges another stats accumulator (used when seeds grow in
+// parallel; stage timings are handled by the caller).
+func (s *Stats) add(o *Stats) {
+	s.ExtensionsTried += o.ExtensionsTried
+	s.Generated += o.Generated
+	s.Duplicates += o.Duplicates
+	for i := range s.ConstraintRejects {
+		s.ConstraintRejects[i] += o.ConstraintRejects[i]
+	}
+	s.FrequencyRejects += o.FrequencyRejects
+	s.CheckMismatches += o.CheckMismatches
+	s.OutputInvalid += o.OutputInvalid
+}
+
+// Mine runs SkinnyMine on a single graph (Definition 8).
+func Mine(g *graph.Graph, opt Options) (*Result, error) {
+	return MineDB([]*graph.Graph{g}, opt)
+}
+
+// MineDB runs SkinnyMine on a graph database. With Measure GraphCount
+// this is the graph-transaction setting; with the default embedding
+// count, supports aggregate across graphs.
+func MineDB(graphs []*graph.Graph, opt Options) (*Result, error) {
+	if err := validate(graphs, &opt); err != nil {
+		return nil, err
+	}
+	dm, err := NewDiamMiner(graphs, opt.Support)
+	if err != nil {
+		return nil, err
+	}
+	return mineWithDiamMiner(dm, graphs, opt)
+}
+
+// MineWithIndex runs Stage II against a pre-built DiamMiner, the direct
+// mining deployment of Figure 2: DiamMine results are computed once and
+// shared across many requests with different l.
+func MineWithIndex(dm *DiamMiner, opt Options) (*Result, error) {
+	if err := validate(dm.graphs, &opt); err != nil {
+		return nil, err
+	}
+	if dm.support != opt.Support {
+		return nil, fmt.Errorf("core: index was built with support %d, request uses %d", dm.support, opt.Support)
+	}
+	return mineWithDiamMiner(dm, dm.graphs, opt)
+}
+
+func validate(graphs []*graph.Graph, opt *Options) error {
+	if len(graphs) == 0 {
+		return fmt.Errorf("core: no input graphs")
+	}
+	if opt.Support < 1 {
+		return fmt.Errorf("core: support must be >= 1, got %d", opt.Support)
+	}
+	if opt.Length < 1 {
+		return fmt.Errorf("core: length constraint must be >= 1, got %d", opt.Length)
+	}
+	if opt.MinLength > opt.Length {
+		return fmt.Errorf("core: MinLength %d exceeds Length %d", opt.MinLength, opt.Length)
+	}
+	if opt.MaxLevels == 0 {
+		opt.MaxLevels = 32
+	}
+	return nil
+}
+
+func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Result, error) {
+	m := &miner{
+		graphs: graphs,
+		opt:    opt,
+		stats:  &Stats{},
+		codes:  newCodeSet(),
+	}
+	if opt.MaxPatterns > 0 {
+		m.budget = &atomic.Int64{}
+		m.budget.Store(int64(opt.MaxPatterns))
+	}
+	m.check = checker{mode: opt.CheckMode, stats: m.stats}
+
+	lo := opt.Length
+	if opt.MinLength > 0 {
+		lo = opt.MinLength
+	}
+
+	// Stage I: mine canonical diameters.
+	t0 := time.Now()
+	var seeds []*PathPattern
+	for l := lo; l <= opt.Length; l++ {
+		ps, err := dm.Mine(l)
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(seeds, ps...)
+	}
+	m.stats.DiamMineTime = time.Since(t0)
+	m.stats.PathsMined = len(seeds)
+
+	// Stage II: grow each canonical diameter level by level, optionally
+	// across workers (one seed's cluster per task; output order follows
+	// seed order, so results are deterministic).
+	t1 := time.Now()
+	maxDelta := opt.Delta
+	if maxDelta < 0 {
+		maxDelta = opt.MaxLevels
+	}
+	perSeed := make([][]*Pattern, len(seeds))
+	workers := opt.Workers
+	if workers < 2 || len(seeds) < 2 {
+		for i, pp := range seeds {
+			perSeed[i] = m.growSeed(pp, maxDelta)
+		}
+	} else {
+		var wg sync.WaitGroup
+		tasks := make(chan int)
+		var mu sync.Mutex
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				local := &miner{graphs: graphs, opt: opt, stats: &Stats{}, codes: m.codes, budget: m.budget}
+				local.check = checker{mode: opt.CheckMode, stats: local.stats}
+				for i := range tasks {
+					perSeed[i] = local.growSeed(seeds[i], maxDelta)
+				}
+				mu.Lock()
+				m.stats.add(local.stats)
+				mu.Unlock()
+			}()
+		}
+		for i := range seeds {
+			tasks <- i
+		}
+		close(tasks)
+		wg.Wait()
+	}
+	var out []*Pattern
+	for _, ps := range perSeed {
+		out = append(out, ps...)
+		if opt.MaxPatterns > 0 && len(out) >= opt.MaxPatterns {
+			out = out[:opt.MaxPatterns]
+			break
+		}
+	}
+
+	if opt.ValidateOutput {
+		out = m.validateOutput(out, lo)
+	}
+	if opt.ClosedOnly {
+		out = closedOnly(out)
+	}
+	m.stats.LevelGrowTime = time.Since(t1)
+	return &Result{Patterns: out, Stats: *m.stats}, nil
+}
+
+// growSeed grows one canonical diameter's cluster to completion (or
+// until the shared MaxPatterns budget runs dry).
+func (m *miner) growSeed(pp *PathPattern, maxDelta int) []*Pattern {
+	if !m.consumeBudget() {
+		return nil
+	}
+	p0 := newPatternFromPath(pp, m.graphs, m.opt.MaxEmbeddings)
+	if !m.dedup(p0) {
+		return nil
+	}
+	out := []*Pattern{p0}
+	frontier := []*Pattern{p0}
+	for level := int32(1); level <= int32(maxDelta); level++ {
+		var next []*Pattern
+		for _, p := range frontier {
+			p.hasAnchor = false // Panchor ordering restarts per level
+			next = append(next, m.levelGrow(p, level)...)
+		}
+		if len(next) == 0 {
+			break
+		}
+		out = append(out, next...)
+		frontier = next
+	}
+	return out
+}
+
+// dedup registers the pattern's canonical code, reporting true when new.
+func (m *miner) dedup(p *Pattern) bool {
+	return m.codes.insert(dfscode.MinCodeKey(p.G))
+}
+
+// validateOutput drops patterns whose canonical diameter deviated from
+// the growth invariant (possible only if the fast checks over-accepted;
+// see constraints.go) or whose length fell outside the request.
+func (m *miner) validateOutput(ps []*Pattern, lo int) []*Pattern {
+	out := ps[:0]
+	for _, p := range ps {
+		cd, diam := p.G.CanonicalDiameter()
+		ok := int(diam) >= lo && int(diam) <= m.opt.Length
+		if ok {
+			for i, v := range cd {
+				if v != graph.V(i) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			m.stats.OutputInvalid++
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// closedOnly keeps patterns with no strict super-pattern of equal
+// support in the result set.
+func closedOnly(ps []*Pattern) []*Pattern {
+	out := ps[:0]
+	for i, p := range ps {
+		closed := true
+		for j, q := range ps {
+			if i == j || q.G.M() <= p.G.M() || q.Support() != p.Support() {
+				continue
+			}
+			if graph.HasEmbedding(p.G, q.G) {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package dfscode
+
+import (
+	"fmt"
+
+	"skinnymine/internal/graph"
+)
+
+// MinCode computes the minimal (canonical) DFS code of a connected
+// labeled graph: the lexicographically smallest DFS code over all DFS
+// traversals. Two connected graphs are isomorphic iff their minimal
+// codes are equal.
+//
+// The construction is the standard stepwise greedy with embedding
+// projection: keep every partial DFS traversal realizing the minimal code
+// prefix; at each step pick the smallest extension tuple offered by any
+// surviving traversal and drop traversals that cannot realize it. The
+// backward-before-forward and deepest-forward-first extension order
+// guarantees no surviving traversal strands an uncoverable edge, so the
+// greedy prefix is always completable.
+func MinCode(g *graph.Graph) Code {
+	m := g.M()
+	if m == 0 {
+		return nil
+	}
+	// Seed: minimal (l0, l1) over both orientations of every edge.
+	var first Tuple
+	haveFirst := false
+	for _, e := range g.Edges() {
+		for _, or := range [2][2]graph.V{{e.U, e.W}, {e.W, e.U}} {
+			t := Tuple{I: 0, J: 1, LI: g.Label(or[0]), LJ: g.Label(or[1])}
+			if !haveFirst || CompareTuples(t, first) < 0 {
+				first = t
+				haveFirst = true
+			}
+		}
+	}
+	code := Code{first}
+	var states []*traversal
+	for _, e := range g.Edges() {
+		for _, or := range [2][2]graph.V{{e.U, e.W}, {e.W, e.U}} {
+			if g.Label(or[0]) == first.LI && g.Label(or[1]) == first.LJ {
+				states = append(states, newTraversal(g, or[0], or[1]))
+			}
+		}
+	}
+
+	for len(code) < m {
+		var best Tuple
+		haveBest := false
+		for _, st := range states {
+			st.candidates(func(t Tuple) {
+				if !haveBest || CompareTuples(t, best) < 0 {
+					best = t
+					haveBest = true
+				}
+			})
+		}
+		if !haveBest {
+			// Cannot happen for connected graphs; guard for safety.
+			panic(fmt.Sprintf("dfscode: no extension at step %d of %d", len(code), m))
+		}
+		var next []*traversal
+		for _, st := range states {
+			next = append(next, st.realize(best)...)
+		}
+		states = next
+		code = append(code, best)
+	}
+	return code
+}
+
+// MinCodeKey returns a canonical string key for any graph, including
+// edgeless single-vertex graphs (which minimal DFS codes cannot encode).
+func MinCodeKey(g *graph.Graph) string {
+	if g.M() == 0 {
+		if g.N() == 0 {
+			return "empty"
+		}
+		// Edgeless patterns in this project are single vertices.
+		min := g.Label(0)
+		for v := 1; v < g.N(); v++ {
+			if g.Label(graph.V(v)) < min {
+				min = g.Label(graph.V(v))
+			}
+		}
+		return fmt.Sprintf("v%d/%d", min, g.N())
+	}
+	return MinCode(g).Key()
+}
+
+// traversal is a partial DFS traversal of g realizing the current code
+// prefix: vmap maps code vertices to graph vertices, rmp is the rightmost
+// path as code-vertex indices, used marks covered graph edges.
+type traversal struct {
+	g    *graph.Graph
+	vmap []graph.V
+	vinv map[graph.V]int32
+	rmp  []int32
+	used map[graph.Edge]struct{}
+}
+
+func newTraversal(g *graph.Graph, v0, v1 graph.V) *traversal {
+	e := graph.Edge{U: v0, W: v1}.Norm()
+	return &traversal{
+		g:    g,
+		vmap: []graph.V{v0, v1},
+		vinv: map[graph.V]int32{v0: 0, v1: 1},
+		rmp:  []int32{0, 1},
+		used: map[graph.Edge]struct{}{e: {}},
+	}
+}
+
+func (t *traversal) clone() *traversal {
+	c := &traversal{
+		g:    t.g,
+		vmap: append([]graph.V(nil), t.vmap...),
+		vinv: make(map[graph.V]int32, len(t.vinv)),
+		rmp:  append([]int32(nil), t.rmp...),
+		used: make(map[graph.Edge]struct{}, len(t.used)+1),
+	}
+	for k, v := range t.vinv {
+		c.vinv[k] = v
+	}
+	for k := range t.used {
+		c.used[k] = struct{}{}
+	}
+	return c
+}
+
+// candidates reports every extension tuple this traversal can make:
+// backward edges from the rightmost vertex to rightmost-path vertices,
+// and forward edges from rightmost-path vertices to unmapped neighbors.
+func (t *traversal) candidates(yield func(Tuple)) {
+	r := t.rmp[len(t.rmp)-1]
+	rv := t.vmap[r]
+	// Backward: rightmost vertex -> earlier rightmost-path vertex.
+	for _, w := range t.g.Neighbors(rv) {
+		ci, mapped := t.vinv[w]
+		if !mapped {
+			continue
+		}
+		if _, covered := t.used[(graph.Edge{U: rv, W: w}).Norm()]; covered {
+			continue
+		}
+		if t.onRMP(ci) && ci < r {
+			yield(Tuple{I: r, J: ci, LI: t.g.Label(rv), LJ: t.g.Label(w)})
+		}
+	}
+	// Forward: rightmost-path vertex -> new vertex.
+	n := int32(len(t.vmap))
+	for _, ci := range t.rmp {
+		cv := t.vmap[ci]
+		for _, w := range t.g.Neighbors(cv) {
+			if _, mapped := t.vinv[w]; mapped {
+				continue
+			}
+			yield(Tuple{I: ci, J: n, LI: t.g.Label(cv), LJ: t.g.Label(w)})
+		}
+	}
+}
+
+func (t *traversal) onRMP(ci int32) bool {
+	for _, x := range t.rmp {
+		if x == ci {
+			return true
+		}
+	}
+	return false
+}
+
+// realize returns all extensions of t by the given tuple (possibly
+// several when multiple graph vertices fit a forward label, or none).
+func (t *traversal) realize(tp Tuple) []*traversal {
+	var out []*traversal
+	if !tp.Forward() {
+		r := t.rmp[len(t.rmp)-1]
+		if tp.I != r {
+			return nil
+		}
+		rv := t.vmap[r]
+		wv := t.vmap[tp.J]
+		if !t.onRMP(tp.J) || !t.g.HasEdge(rv, wv) {
+			return nil
+		}
+		e := (graph.Edge{U: rv, W: wv}).Norm()
+		if _, covered := t.used[e]; covered {
+			return nil
+		}
+		if t.g.Label(rv) != tp.LI || t.g.Label(wv) != tp.LJ {
+			return nil
+		}
+		c := t.clone()
+		c.used[e] = struct{}{}
+		return []*traversal{c}
+	}
+	// Forward from rightmost-path vertex tp.I to a new vertex.
+	if !t.onRMP(tp.I) || tp.J != int32(len(t.vmap)) {
+		return nil
+	}
+	src := t.vmap[tp.I]
+	if t.g.Label(src) != tp.LI {
+		return nil
+	}
+	for _, w := range t.g.Neighbors(src) {
+		if _, mapped := t.vinv[w]; mapped {
+			continue
+		}
+		if t.g.Label(w) != tp.LJ {
+			continue
+		}
+		c := t.clone()
+		c.vmap = append(c.vmap, w)
+		c.vinv[w] = tp.J
+		// New rightmost path: prefix of rmp up to tp.I, then the new vertex.
+		var rmp []int32
+		for _, x := range c.rmp {
+			rmp = append(rmp, x)
+			if x == tp.I {
+				break
+			}
+		}
+		c.rmp = append(rmp, tp.J)
+		c.used[(graph.Edge{U: src, W: w}).Norm()] = struct{}{}
+		out = append(out, c)
+	}
+	return out
+}
+
+// IsMin reports whether code is the minimal DFS code of the graph it
+// describes.
+func IsMin(code Code) bool {
+	if len(code) == 0 {
+		return true
+	}
+	return Compare(MinCode(code.Graph()), code) == 0
+}

@@ -1,0 +1,153 @@
+// Package exp is the experiment harness: one entry point per table and
+// figure of the paper's evaluation (Section 6), each returning typed
+// rows/series that cmd/experiments renders in the paper's layout and
+// bench_test.go wraps as benchmarks.
+//
+// Config.Scale shrinks graph sizes so the whole suite runs in seconds;
+// Scale=1 reproduces the paper's parameters. Shapes (who wins, where
+// curves bend) are preserved across scales; absolute numbers are not
+// expected to match the authors' 2013 C++/testbed figures.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Config controls experiment sizing.
+type Config struct {
+	// Seed drives all RNGs; runs are reproducible per seed.
+	Seed int64
+	// Scale in (0,1] multiplies graph sizes. 1 = paper scale.
+	Scale float64
+}
+
+// DefaultConfig is the quick, laptop-friendly configuration.
+func DefaultConfig() Config { return Config{Seed: 1, Scale: 0.1} }
+
+func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+// scaled applies the scale factor with a floor.
+func (c Config) scaled(n, floor int) int {
+	v := int(float64(n) * c.Scale)
+	if v < floor {
+		return floor
+	}
+	return v
+}
+
+// Series is one plotted line: X values and Y values.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Hist is a pattern-size histogram for one algorithm (Figures 4-10).
+type Hist struct {
+	Algo  string
+	Sizes map[int]int // pattern |V| -> count
+}
+
+// Table is a rendered text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table in a fixed-width layout.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// HistTable renders pattern-size histograms side by side.
+func HistTable(title string, hists []Hist) *Table {
+	sizes := map[int]struct{}{}
+	for _, h := range hists {
+		for s := range h.Sizes {
+			sizes[s] = struct{}{}
+		}
+	}
+	var order []int
+	for s := range sizes {
+		order = append(order, s)
+	}
+	sort.Ints(order)
+	t := &Table{Title: title, Header: []string{"|V|"}}
+	for _, h := range hists {
+		t.Header = append(t.Header, h.Algo)
+	}
+	for _, s := range order {
+		row := []string{fmt.Sprint(s)}
+		for _, h := range hists {
+			row = append(row, fmt.Sprint(h.Sizes[s]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// SeriesTable renders aligned series (one X column, one Y column each).
+func SeriesTable(title string, xLabel string, series []Series) *Table {
+	t := &Table{Title: title, Header: []string{xLabel}}
+	for _, s := range series {
+		t.Header = append(t.Header, s.Name)
+	}
+	if len(series) == 0 {
+		return t
+	}
+	for i := range series[0].X {
+		row := []string{trimFloat(series[0].X[i])}
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, trimFloat(s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprint(int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func seconds(d time.Duration) float64 { return d.Seconds() }

@@ -1,0 +1,225 @@
+package graph
+
+// This file implements the canonical diameter (Definition 4): among all
+// simple paths of length D(G) that realize the diameter (i.e., that are
+// shortest paths between their endpoints), the smallest one under the
+// total path order of Definition 3 (label sequence first, physical vertex
+// ID sequence as tie-break).
+//
+// The search works per ordered endpoint pair (s,t) with dist(s,t) = D:
+// a frontier sweep first pins down the minimal label sequence (greedy on
+// labels is safe because every frontier member extends some partial path
+// achieving the minimal label prefix), then a backward-feasibility pass
+// plus a forward greedy on vertex IDs extracts the unique minimal path.
+// Shortest paths have strictly increasing distance from s, so they are
+// automatically simple.
+
+// CanonicalDiameter returns the canonical diameter of a connected graph
+// and its length, or (nil, Unreachable) if g is empty or disconnected.
+func (g *Graph) CanonicalDiameter() (Path, int32) {
+	n := g.N()
+	if n == 0 {
+		return nil, Unreachable
+	}
+	d := g.AllPairsDistances()
+	diam := int32(0)
+	for v := 0; v < n; v++ {
+		for w := 0; w < n; w++ {
+			dv := d[v][w]
+			if dv == Unreachable {
+				return nil, Unreachable
+			}
+			if dv > diam {
+				diam = dv
+			}
+		}
+	}
+	return g.canonicalDiameterWithDist(d, diam), diam
+}
+
+// CanonicalDiameterWithDist is CanonicalDiameter for callers that already
+// hold the all-pairs distance matrix and the diameter.
+func (g *Graph) CanonicalDiameterWithDist(d [][]int32, diam int32) Path {
+	return g.canonicalDiameterWithDist(d, diam)
+}
+
+func (g *Graph) canonicalDiameterWithDist(d [][]int32, diam int32) Path {
+	n := g.N()
+	if diam == 0 {
+		// Single-vertex diameter: the canonical path is the vertex with
+		// the smallest label, ties broken by ID.
+		best := V(0)
+		for v := V(1); int(v) < n; v++ {
+			if g.Label(v) < g.Label(best) || (g.Label(v) == g.Label(best) && v < best) {
+				best = v
+			}
+		}
+		return Path{best}
+	}
+
+	var bestSeq []Label
+	var bestPairs []pairST
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s == t || d[s][t] != diam {
+				continue
+			}
+			seq := g.minLabelSeq(d, V(s), V(t), diam)
+			if bestSeq == nil {
+				bestSeq = seq
+				bestPairs = append(bestPairs[:0], pairST{V(s), V(t)})
+				continue
+			}
+			switch CompareLabelSeqs(seq, bestSeq) {
+			case -1:
+				bestSeq = seq
+				bestPairs = append(bestPairs[:0], pairST{V(s), V(t)})
+			case 0:
+				bestPairs = append(bestPairs, pairST{V(s), V(t)})
+			}
+		}
+	}
+	if bestSeq == nil {
+		return nil
+	}
+	var best Path
+	for _, p := range bestPairs {
+		cand := g.minIDPath(d, p.s, p.t, diam, bestSeq)
+		if best == nil || comparePathIDs(cand, best) < 0 {
+			best = cand
+		}
+	}
+	return best
+}
+
+type pairST struct{ s, t V }
+
+// minLabelSeq returns the lexicographically minimal label sequence over
+// all shortest paths from s to t (of length diam).
+func (g *Graph) minLabelSeq(d [][]int32, s, t V, diam int32) []Label {
+	seq := make([]Label, diam+1)
+	seq[0] = g.Label(s)
+	frontier := []V{s}
+	next := make([]V, 0, 8)
+	inNext := make(map[V]struct{}, 8)
+	for i := int32(0); i < diam; i++ {
+		next = next[:0]
+		clear(inNext)
+		var minL Label
+		first := true
+		for _, v := range frontier {
+			for _, w := range g.adj[v] {
+				if d[s][w] != i+1 || d[w][t] != diam-i-1 {
+					continue
+				}
+				lw := g.Label(w)
+				if first || lw < minL {
+					minL = lw
+					first = false
+				}
+			}
+		}
+		for _, v := range frontier {
+			for _, w := range g.adj[v] {
+				if d[s][w] != i+1 || d[w][t] != diam-i-1 || g.Label(w) != minL {
+					continue
+				}
+				if _, ok := inNext[w]; !ok {
+					inNext[w] = struct{}{}
+					next = append(next, w)
+				}
+			}
+		}
+		seq[i+1] = minL
+		frontier, next = next, frontier
+	}
+	return seq
+}
+
+// minIDPath returns the minimal-ID shortest path from s to t whose label
+// sequence equals seq, or nil if none exists.
+func (g *Graph) minIDPath(d [][]int32, s, t V, diam int32, seq []Label) Path {
+	if g.Label(s) != seq[0] || g.Label(t) != seq[diam] {
+		return nil
+	}
+	// Backward feasibility: feas[i] = vertices at position i (distance i
+	// from s, diam-i to t, label seq[i]) from which t is reachable through
+	// label-conforming positions.
+	feas := make([]map[V]struct{}, diam+1)
+	feas[diam] = map[V]struct{}{t: {}}
+	for i := diam - 1; i >= 0; i-- {
+		cur := make(map[V]struct{})
+		for w := range feas[i+1] {
+			for _, v := range g.adj[w] {
+				if d[s][v] == i && d[v][t] == diam-i && g.Label(v) == seq[i] {
+					cur[v] = struct{}{}
+				}
+			}
+		}
+		feas[i] = cur
+	}
+	if _, ok := feas[0][s]; !ok {
+		return nil
+	}
+	path := make(Path, 0, diam+1)
+	path = append(path, s)
+	cur := s
+	for i := int32(0); i < diam; i++ {
+		chosen := V(-1)
+		for _, w := range g.adj[cur] { // adjacency sorted: first feasible is min ID
+			if _, ok := feas[i+1][w]; ok {
+				chosen = w
+				break
+			}
+		}
+		if chosen < 0 {
+			return nil
+		}
+		path = append(path, chosen)
+		cur = chosen
+	}
+	return path
+}
+
+func comparePathIDs(a, b Path) int {
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// VertexLevels returns, for each vertex, its level relative to path L:
+// the shortest distance to any vertex of L (Definition 5).
+func (g *Graph) VertexLevels(l Path) []int32 {
+	return g.MultiSourceBFS(l)
+}
+
+// IsSkinny reports whether g is δ-skinny with respect to path L
+// (Definition 6): every vertex within distance δ of L.
+func (g *Graph) IsSkinny(l Path, delta int32) bool {
+	for _, d := range g.VertexLevels(l) {
+		if d == Unreachable || d > delta {
+			return false
+		}
+	}
+	return true
+}
+
+// IsLLongDeltaSkinny reports whether g is an l-long δ-skinny graph
+// (Definition 7): its canonical diameter has length l and g is δ-skinny
+// with respect to it. It returns the canonical diameter when true.
+func (g *Graph) IsLLongDeltaSkinny(l, delta int32) (Path, bool) {
+	cd, diam := g.CanonicalDiameter()
+	if diam != l {
+		return nil, false
+	}
+	if !g.IsSkinny(cd, delta) {
+		return nil, false
+	}
+	return cd, true
+}

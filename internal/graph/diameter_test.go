@@ -1,0 +1,261 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBFSAndDistances(t *testing.T) {
+	g := buildPath(0, 0, 0, 0)
+	d := g.BFS(0)
+	for i, want := range []int32{0, 1, 2, 3} {
+		if d[i] != want {
+			t.Errorf("BFS[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+	g.AddVertex(9)
+	d = g.BFS(0)
+	if d[4] != Unreachable {
+		t.Errorf("unreachable vertex got distance %d", d[4])
+	}
+}
+
+func TestMultiSourceBFS(t *testing.T) {
+	g := buildPath(0, 0, 0, 0, 0)
+	d := g.MultiSourceBFS([]V{0, 4})
+	want := []int32{0, 1, 2, 1, 0}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("MultiSourceBFS[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int32
+	}{
+		{"path4", buildPath(0, 0, 0, 0), 3},
+		{"single", buildPath(0), 0},
+	}
+	cyc := buildPath(0, 0, 0, 0, 0, 0)
+	cyc.MustAddEdge(5, 0)
+	cases = append(cases, struct {
+		name string
+		g    *Graph
+		want int32
+	}{"cycle6", cyc, 3})
+	for _, c := range cases {
+		if got := c.g.Diameter(); got != c.want {
+			t.Errorf("%s: Diameter = %d, want %d", c.name, got, c.want)
+		}
+	}
+	disc := buildPath(0, 0)
+	disc.AddVertex(0)
+	if disc.Diameter() != Unreachable {
+		t.Error("disconnected graph should report Unreachable")
+	}
+}
+
+func TestCanonicalDiameterPath(t *testing.T) {
+	// For a bare path, the canonical diameter is the path itself in the
+	// orientation with the smaller label sequence.
+	g := buildPath(2, 1, 0)
+	cd, diam := g.CanonicalDiameter()
+	if diam != 2 {
+		t.Fatalf("diam = %d, want 2", diam)
+	}
+	if cd.Head() != 2 || cd.Tail() != 0 {
+		t.Errorf("canonical diameter = %v, want [2 1 0]", cd)
+	}
+}
+
+func TestCanonicalDiameterLexChoice(t *testing.T) {
+	// A "Y" where two diameter paths exist; the smaller label wins.
+	//   0(a) - 1(a) - 2(a) - 3(b)
+	//                   \
+	//                    4(c)
+	// Diameter = 3: 0..3 (a,a,a,b) and 0..4 (a,a,a,c); canonical is the b-path.
+	g := New(5)
+	for _, l := range []Label{0, 0, 0, 1, 2} {
+		g.AddVertex(l)
+	}
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(2, 4)
+	cd, diam := g.CanonicalDiameter()
+	if diam != 3 {
+		t.Fatalf("diam = %d, want 3", diam)
+	}
+	if cd.Tail() != 3 && cd.Head() != 3 {
+		t.Errorf("canonical diameter %v should use the label-1 endpoint", cd)
+	}
+	if g.Label(cd[0]) > g.Label(cd[len(cd)-1]) {
+		t.Errorf("canonical diameter %v not in canonical orientation", cd)
+	}
+}
+
+func TestCanonicalDiameterIDTieBreak(t *testing.T) {
+	// Two label-identical diameter paths; smaller physical IDs win.
+	//    1(a)      2(a)
+	//      \       /
+	//       0(b)--+     both 1-0-? paths have labels (a,b,a)
+	g := New(3)
+	g.AddVertex(1) // 0: b
+	g.AddVertex(0) // 1: a
+	g.AddVertex(0) // 2: a
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	cd, diam := g.CanonicalDiameter()
+	if diam != 2 {
+		t.Fatalf("diam = %d, want 2", diam)
+	}
+	want := Path{1, 0, 2}
+	for i := range want {
+		if cd[i] != want[i] {
+			t.Fatalf("canonical diameter = %v, want %v", cd, want)
+		}
+	}
+}
+
+func TestCanonicalDiameterDisconnected(t *testing.T) {
+	g := buildPath(0, 0)
+	g.AddVertex(0)
+	cd, diam := g.CanonicalDiameter()
+	if cd != nil || diam != Unreachable {
+		t.Errorf("disconnected: got (%v, %d)", cd, diam)
+	}
+}
+
+// bruteCanonicalDiameter enumerates every simple path realizing the
+// diameter and returns the minimum under the total path order.
+func bruteCanonicalDiameter(g *Graph) (Path, int32) {
+	d := g.AllPairsDistances()
+	diam := int32(0)
+	for v := 0; v < g.N(); v++ {
+		for w := 0; w < g.N(); w++ {
+			if d[v][w] == Unreachable {
+				return nil, Unreachable
+			}
+			if d[v][w] > diam {
+				diam = d[v][w]
+			}
+		}
+	}
+	if g.N() == 0 {
+		return nil, Unreachable
+	}
+	var best Path
+	var dfs func(p Path, t V)
+	dfs = func(p Path, t V) {
+		last := p[len(p)-1]
+		if int32(len(p)-1) == diam {
+			if last == t {
+				if best == nil || ComparePathsTotal(g, p, best) < 0 {
+					best = append(Path(nil), p...)
+				}
+			}
+			return
+		}
+		for _, w := range g.Neighbors(last) {
+			ok := true
+			for _, v := range p {
+				if v == w {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				dfs(append(p, w), t)
+			}
+		}
+	}
+	for s := 0; s < g.N(); s++ {
+		for t := 0; t < g.N(); t++ {
+			if s != t && d[s][t] == diam {
+				dfs(Path{V(s)}, V(t))
+			}
+		}
+	}
+	if diam == 0 {
+		best = g.CanonicalDiameterWithDist(d, 0)
+	}
+	return best, diam
+}
+
+// TestCanonicalDiameterAgainstBruteForce is the property test anchoring
+// Definition 4: the frontier-sweep implementation must agree with full
+// enumeration of diameter-realizing shortest paths on random graphs.
+func TestCanonicalDiameterAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(7)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			g.AddVertex(Label(rng.Intn(3)))
+		}
+		for v := 1; v < n; v++ {
+			g.MustAddEdge(V(rng.Intn(v)), V(v))
+		}
+		for e := 0; e < rng.Intn(4); e++ {
+			u, w := V(rng.Intn(n)), V(rng.Intn(n))
+			if u != w && !g.HasEdge(u, w) {
+				g.MustAddEdge(u, w)
+			}
+		}
+		got, gotD := g.CanonicalDiameter()
+		want, wantD := bruteCanonicalDiameter(g)
+		if gotD != wantD {
+			t.Fatalf("trial %d: diameter %d, want %d\n%v", trial, gotD, wantD, g.Edges())
+		}
+		if ComparePathsTotal(g, got, want) != 0 {
+			t.Fatalf("trial %d: canonical diameter %v, want %v (labels %v, edges %v)",
+				trial, got, want, g.Labels(), g.Edges())
+		}
+		if !got.Valid(g) {
+			t.Fatalf("trial %d: canonical diameter %v not a valid simple path", trial, got)
+		}
+	}
+}
+
+func TestVertexLevelsAndSkinny(t *testing.T) {
+	// Path 0-1-2 with twig 3 off vertex 1 and twig 4 off 3 (level 2).
+	g := buildPath(0, 0, 0)
+	g.AddVertex(0)
+	g.MustAddEdge(1, 3)
+	g.AddVertex(0)
+	g.MustAddEdge(3, 4)
+	l := Path{0, 1, 2}
+	levels := g.VertexLevels(l)
+	want := []int32{0, 0, 0, 1, 2}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Errorf("level[%d] = %d, want %d", i, levels[i], want[i])
+		}
+	}
+	if g.IsSkinny(l, 1) {
+		t.Error("graph has a 2-level vertex; not 1-skinny")
+	}
+	if !g.IsSkinny(l, 2) {
+		t.Error("graph should be 2-skinny")
+	}
+}
+
+func TestIsLLongDeltaSkinny(t *testing.T) {
+	// 4-long path with one twig: 4-long 1-skinny.
+	g := buildPath(0, 1, 2, 1, 0)
+	g.AddVertex(3)
+	g.MustAddEdge(2, 5)
+	if _, ok := g.IsLLongDeltaSkinny(4, 1); !ok {
+		t.Error("should be 4-long 1-skinny")
+	}
+	if _, ok := g.IsLLongDeltaSkinny(4, 0); ok {
+		t.Error("twig vertex breaks 0-skinny")
+	}
+	if _, ok := g.IsLLongDeltaSkinny(3, 1); ok {
+		t.Error("wrong length should fail")
+	}
+}

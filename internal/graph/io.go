@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text format, one record per line:
+//
+//	t # <name>        start a new graph (transaction databases)
+//	v <id> <label>    vertex; ids must be dense and in order
+//	e <u> <w>         undirected edge
+//	# ...             comment
+//
+// Single-graph files may omit the leading "t" line.
+
+// WriteText serializes graphs to w in the text format.
+func WriteText(w io.Writer, graphs ...*Graph) error {
+	bw := bufio.NewWriter(w)
+	for gi, g := range graphs {
+		if _, err := fmt.Fprintf(bw, "t # %d\n", gi); err != nil {
+			return err
+		}
+		for v := 0; v < g.N(); v++ {
+			if _, err := fmt.Fprintf(bw, "v %d %d\n", v, g.Label(V(v))); err != nil {
+				return err
+			}
+		}
+		for _, e := range g.Edges() {
+			if _, err := fmt.Fprintf(bw, "e %d %d\n", e.U, e.W); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses one or more graphs from r in the text format.
+func ReadText(r io.Reader) ([]*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var graphs []*Graph
+	var cur *Graph
+	line := 0
+	ensure := func() *Graph {
+		if cur == nil {
+			cur = New(16)
+			graphs = append(graphs, cur)
+		}
+		return cur
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "t":
+			cur = New(16)
+			graphs = append(graphs, cur)
+		case "v":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: vertex needs id and label", line)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex id %q", line, fields[1])
+			}
+			lab, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad label %q", line, fields[2])
+			}
+			g := ensure()
+			if id != g.N() {
+				return nil, fmt.Errorf("graph: line %d: vertex id %d out of order (want %d)", line, id, g.N())
+			}
+			g.AddVertex(Label(lab))
+		case "e":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: edge needs two endpoints", line)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad endpoint %q", line, fields[1])
+			}
+			w, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad endpoint %q", line, fields[2])
+			}
+			if err := ensure().AddEdge(V(u), V(w)); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return graphs, nil
+}
+
+// String renders a compact description like "G(|V|=5,|E|=4)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("G(|V|=%d,|E|=%d)", g.N(), g.M())
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundtrip(t *testing.T) {
+	g1 := buildPath(0, 1, 2)
+	g2 := New(2)
+	g2.AddVertex(5)
+	g2.AddVertex(6)
+	g2.MustAddEdge(0, 1)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g1, g2); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d graphs, want 2", len(got))
+	}
+	if !Isomorphic(got[0], g1) || !Isomorphic(got[1], g2) {
+		t.Error("roundtrip changed graphs")
+	}
+}
+
+func TestReadTextSingleGraphNoHeader(t *testing.T) {
+	in := "# comment\nv 0 3\nv 1 4\ne 0 1\n"
+	gs, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if len(gs) != 1 || gs[0].N() != 2 || gs[0].M() != 1 {
+		t.Fatalf("parsed wrong: %v", gs)
+	}
+	if gs[0].Label(0) != 3 || gs[0].Label(1) != 4 {
+		t.Error("labels wrong")
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"bad record", "x 1 2\n"},
+		{"vertex missing label", "v 0\n"},
+		{"vertex bad id", "v zero 1\n"},
+		{"vertex bad label", "v 0 abc\n"},
+		{"vertex out of order", "v 1 0\n"},
+		{"edge missing endpoint", "v 0 0\nv 1 0\ne 0\n"},
+		{"edge bad endpoint", "v 0 0\ne 0 x\n"},
+		{"edge out of range", "v 0 0\ne 0 5\n"},
+		{"self loop", "v 0 0\ne 0 0\n"},
+		{"duplicate edge", "v 0 0\nv 1 0\ne 0 1\ne 1 0\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadText(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadTextEmpty(t *testing.T) {
+	gs, err := ReadText(strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("ReadText empty: %v", err)
+	}
+	if len(gs) != 0 {
+		t.Errorf("empty input gave %d graphs", len(gs))
+	}
+}

@@ -1,0 +1,230 @@
+package graph
+
+import "sort"
+
+// This file implements labeled (sub)graph isomorphism by backtracking
+// with label/degree pruning, in the spirit of VF2. Patterns in this
+// project are small (tens of vertices), so a careful backtracking search
+// is both simple and fast enough; candidate vertices are tried in sorted
+// order so results are deterministic.
+
+// Isomorphic reports whether two labeled graphs are isomorphic
+// (Definition 1): a label-preserving bijection that preserves adjacency
+// both ways.
+func Isomorphic(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	if !sameLabelMultiset(a, b) || !sameDegreeSequence(a, b) {
+		return false
+	}
+	n := a.N()
+	if n == 0 {
+		return true
+	}
+	m := newMatcher(a, b, true)
+	return m.match(0)
+}
+
+func sameLabelMultiset(a, b *Graph) bool {
+	count := make(map[Label]int)
+	for _, l := range a.Labels() {
+		count[l]++
+	}
+	for _, l := range b.Labels() {
+		count[l]--
+		if count[l] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func sameDegreeSequence(a, b *Graph) bool {
+	da := make([]int, a.N())
+	db := make([]int, b.N())
+	for v := 0; v < a.N(); v++ {
+		da[v] = a.Degree(V(v))
+		db[v] = b.Degree(V(v))
+	}
+	sort.Ints(da)
+	sort.Ints(db)
+	for i := range da {
+		if da[i] != db[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// matcher searches for mappings of pattern p into target t. When induced
+// is true, the mapping must preserve non-adjacency too (exact
+// isomorphism); when false, it is a subgraph-isomorphism in the
+// "embedding" sense of the paper: every pattern edge maps to a target
+// edge (the embedding subgraph consists of exactly the mapped edges).
+type matcher struct {
+	p, t    *Graph
+	induced bool
+	order   []V   // pattern vertices in match order (connected expansion)
+	parent  []int // index into order of an earlier neighbor, -1 for roots
+	mapped  []V   // pattern vertex -> target vertex or -1
+	used    []bool
+	emit    func(mapped []V) bool // return false to stop enumeration
+	found   bool
+}
+
+func newMatcher(p, t *Graph, induced bool) *matcher {
+	m := &matcher{p: p, t: t, induced: induced}
+	n := p.N()
+	m.mapped = make([]V, n)
+	for i := range m.mapped {
+		m.mapped[i] = -1
+	}
+	m.used = make([]bool, t.N())
+	m.order, m.parent = connectedOrder(p)
+	return m
+}
+
+// connectedOrder returns a vertex order where each vertex (except
+// component roots) has some earlier neighbor, plus that neighbor's index.
+func connectedOrder(p *Graph) ([]V, []int) {
+	n := p.N()
+	order := make([]V, 0, n)
+	parent := make([]int, 0, n)
+	seen := make([]bool, n)
+	pos := make([]int, n)
+	for root := V(0); int(root) < n; root++ {
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		pos[root] = len(order)
+		order = append(order, root)
+		parent = append(parent, -1)
+		for head := len(order) - 1; head < len(order); head++ {
+			v := order[head]
+			for _, w := range p.Neighbors(v) {
+				if !seen[w] {
+					seen[w] = true
+					pos[w] = len(order)
+					order = append(order, w)
+					parent = append(parent, pos[v])
+				}
+			}
+		}
+	}
+	return order, parent
+}
+
+func (m *matcher) match(depth int) bool {
+	if depth == len(m.order) {
+		if m.emit != nil {
+			m.found = true
+			return !m.emit(m.mapped)
+		}
+		return true
+	}
+	pv := m.order[depth]
+	var candidates []V
+	if pi := m.parent[depth]; pi >= 0 {
+		candidates = m.t.Neighbors(m.mapped[m.order[pi]])
+	} else {
+		candidates = allVertices(m.t)
+	}
+	for _, tv := range candidates {
+		if m.used[tv] || m.t.Label(tv) != m.p.Label(pv) {
+			continue
+		}
+		if m.t.Degree(tv) < m.p.Degree(pv) {
+			continue
+		}
+		if m.induced && m.t.Degree(tv) != m.p.Degree(pv) {
+			continue
+		}
+		if !m.consistent(pv, tv) {
+			continue
+		}
+		m.mapped[pv] = tv
+		m.used[tv] = true
+		stop := m.match(depth + 1)
+		m.used[tv] = false
+		m.mapped[pv] = -1
+		if stop {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *matcher) consistent(pv, tv V) bool {
+	for _, pw := range m.p.Neighbors(pv) {
+		if tw := m.mapped[pw]; tw >= 0 && !m.t.HasEdge(tv, tw) {
+			return false
+		}
+	}
+	if m.induced {
+		// Mapped non-neighbors must stay non-adjacent.
+		for pw, tw := range m.mapped {
+			if tw < 0 || V(pw) == pv {
+				continue
+			}
+			if !m.p.HasEdge(pv, V(pw)) && m.t.HasEdge(tv, tw) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func allVertices(g *Graph) []V {
+	vs := make([]V, g.N())
+	for i := range vs {
+		vs[i] = V(i)
+	}
+	return vs
+}
+
+// EnumerateEmbeddings calls emit for every mapping of pattern p into
+// target t that preserves labels and maps pattern edges to target edges.
+// The mapped slice is reused between calls; emit must copy it to retain
+// it and may return false to stop early.
+func EnumerateEmbeddings(p, t *Graph, emit func(mapped []V) bool) {
+	if p.N() == 0 {
+		return
+	}
+	m := newMatcher(p, t, false)
+	m.emit = emit
+	m.match(0)
+}
+
+// HasEmbedding reports whether p embeds in t at least once.
+func HasEmbedding(p, t *Graph) bool {
+	if p.N() == 0 {
+		return false
+	}
+	m := newMatcher(p, t, false)
+	m.emit = func([]V) bool { return false }
+	m.match(0)
+	return m.found
+}
+
+// InducedSubgraph returns the subgraph of g induced by the given
+// vertices, plus the mapping from new IDs to original IDs.
+func (g *Graph) InducedSubgraph(vs []V) (*Graph, []V) {
+	sub := New(len(vs))
+	old := make([]V, len(vs))
+	idx := make(map[V]V, len(vs))
+	for i, v := range vs {
+		idx[v] = V(i)
+		old[i] = v
+		sub.AddVertex(g.Label(v))
+	}
+	for i, v := range vs {
+		for _, w := range g.Neighbors(v) {
+			if j, ok := idx[w]; ok && V(i) < j {
+				sub.MustAddEdge(V(i), j)
+			}
+		}
+	}
+	return sub, old
+}

@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func permuted(rng *rand.Rand, g *Graph) *Graph {
+	n := g.N()
+	perm := rng.Perm(n)
+	mapping := make([]V, n)
+	for old, nw := range perm {
+		mapping[old] = V(nw)
+	}
+	labels := make([]Label, n)
+	for old := 0; old < n; old++ {
+		labels[mapping[old]] = g.Label(V(old))
+	}
+	h := New(n)
+	for _, l := range labels {
+		h.AddVertex(l)
+	}
+	for _, e := range g.Edges() {
+		h.MustAddEdge(mapping[e.U], mapping[e.W])
+	}
+	return h
+}
+
+func randomConnected(rng *rand.Rand, n, extra, labels int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(Label(rng.Intn(labels)))
+	}
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(V(rng.Intn(v)), V(v))
+	}
+	for e := 0; e < extra; e++ {
+		u, w := V(rng.Intn(n)), V(rng.Intn(n))
+		if u != w && !g.HasEdge(u, w) {
+			g.MustAddEdge(u, w)
+		}
+	}
+	return g
+}
+
+func TestIsomorphicPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		g := randomConnected(rng, 2+rng.Intn(8), rng.Intn(5), 3)
+		h := permuted(rng, g)
+		if !Isomorphic(g, h) {
+			t.Fatalf("trial %d: permuted copy not isomorphic\n%v %v\n%v %v",
+				trial, g.Labels(), g.Edges(), h.Labels(), h.Edges())
+		}
+	}
+}
+
+func TestNotIsomorphic(t *testing.T) {
+	a := buildPath(0, 1, 2)
+	b := buildPath(0, 2, 1) // same multiset, different adjacency of labels
+	if Isomorphic(a, b) {
+		t.Error("paths (0,1,2) and (0,2,1) are not isomorphic")
+	}
+	c := buildPath(0, 1)
+	if Isomorphic(a, c) {
+		t.Error("different sizes are not isomorphic")
+	}
+	// Same degree sequence, same labels, different structure:
+	// triangle+edge vs path of 4 with extra... use C4 vs two K2? Use star vs path.
+	star := New(4)
+	for i := 0; i < 4; i++ {
+		star.AddVertex(0)
+	}
+	star.MustAddEdge(0, 1)
+	star.MustAddEdge(0, 2)
+	star.MustAddEdge(0, 3)
+	path := buildPath(0, 0, 0, 0)
+	if Isomorphic(star, path) {
+		t.Error("star4 vs path4 are not isomorphic")
+	}
+}
+
+func TestIsomorphicLabelSensitive(t *testing.T) {
+	a := buildPath(0, 1)
+	b := buildPath(0, 0)
+	if Isomorphic(a, b) {
+		t.Error("label mismatch should fail")
+	}
+}
+
+func TestEnumerateEmbeddingsTriangleInK4(t *testing.T) {
+	k4 := New(4)
+	for i := 0; i < 4; i++ {
+		k4.AddVertex(0)
+	}
+	for u := V(0); u < 4; u++ {
+		for w := u + 1; w < 4; w++ {
+			k4.MustAddEdge(u, w)
+		}
+	}
+	tri := New(3)
+	for i := 0; i < 3; i++ {
+		tri.AddVertex(0)
+	}
+	tri.MustAddEdge(0, 1)
+	tri.MustAddEdge(1, 2)
+	tri.MustAddEdge(0, 2)
+	count := 0
+	subgraphs := map[[3]V]struct{}{}
+	EnumerateEmbeddings(tri, k4, func(mapped []V) bool {
+		count++
+		var key [3]V
+		copy(key[:], mapped)
+		sortV3(&key)
+		subgraphs[key] = struct{}{}
+		return true
+	})
+	if count != 24 { // 4 triangles x 6 automorphic maps
+		t.Errorf("embedding maps = %d, want 24", count)
+	}
+	if len(subgraphs) != 4 {
+		t.Errorf("distinct triangles = %d, want 4", len(subgraphs))
+	}
+}
+
+func sortV3(a *[3]V) {
+	if a[0] > a[1] {
+		a[0], a[1] = a[1], a[0]
+	}
+	if a[1] > a[2] {
+		a[1], a[2] = a[2], a[1]
+	}
+	if a[0] > a[1] {
+		a[0], a[1] = a[1], a[0]
+	}
+}
+
+func TestEnumerateEmbeddingsEarlyStop(t *testing.T) {
+	g := buildPath(0, 0, 0, 0)
+	p := buildPath(0, 0)
+	calls := 0
+	EnumerateEmbeddings(p, g, func([]V) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("early stop: emit called %d times, want 1", calls)
+	}
+}
+
+func TestHasEmbedding(t *testing.T) {
+	g := buildPath(0, 1, 2)
+	yes := buildPath(1, 2)
+	no := buildPath(2, 0)
+	if !HasEmbedding(yes, g) {
+		t.Error("path (1,2) embeds in (0,1,2)")
+	}
+	if HasEmbedding(no, g) {
+		t.Error("path (2,0) does not embed in (0,1,2)")
+	}
+	empty := New(0)
+	if HasEmbedding(empty, g) {
+		t.Error("empty pattern should report false")
+	}
+}
+
+// TestEmbeddingSubgraphProperty: non-induced embeddings may map pattern
+// non-edges onto target edges (subgraph, not induced-subgraph semantics).
+func TestEmbeddingSubgraphProperty(t *testing.T) {
+	tri := New(3)
+	for i := 0; i < 3; i++ {
+		tri.AddVertex(0)
+	}
+	tri.MustAddEdge(0, 1)
+	tri.MustAddEdge(1, 2)
+	tri.MustAddEdge(0, 2)
+	p := buildPath(0, 0, 0)
+	if !HasEmbedding(p, tri) {
+		t.Error("path of 3 should embed into a triangle (non-induced)")
+	}
+	if Isomorphic(p, tri) {
+		t.Error("path is not isomorphic to triangle")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := buildPath(0, 1, 2, 3)
+	sub, old := g.InducedSubgraph([]V{1, 2, 3})
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("induced subgraph %v", sub)
+	}
+	if sub.Label(0) != 1 || sub.Label(2) != 3 {
+		t.Errorf("labels wrong: %v", sub.Labels())
+	}
+	if old[0] != 1 || old[2] != 3 {
+		t.Errorf("old map wrong: %v", old)
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || sub.HasEdge(0, 2) {
+		t.Error("edges wrong")
+	}
+}

@@ -1,0 +1,153 @@
+package graph
+
+// Path is a simple path in a graph, represented as the sequence of
+// physical vertex IDs (Definition preceding Def. 2 in the paper). A path
+// of length k has k+1 vertices.
+type Path []V
+
+// Len returns the length of the path in edges.
+func (p Path) Len() int { return len(p) - 1 }
+
+// Head returns the first vertex of the path (v_H in the paper).
+func (p Path) Head() V { return p[0] }
+
+// Tail returns the last vertex of the path (v_T in the paper).
+func (p Path) Tail() V { return p[len(p)-1] }
+
+// Reversed returns a new path with the vertex sequence reversed.
+func (p Path) Reversed() Path {
+	r := make(Path, len(p))
+	for i, v := range p {
+		r[len(p)-1-i] = v
+	}
+	return r
+}
+
+// LabelSeq returns the label sequence of the path under g's labeling.
+func (p Path) LabelSeq(g *Graph) []Label {
+	seq := make([]Label, len(p))
+	for i, v := range p {
+		seq[i] = g.Label(v)
+	}
+	return seq
+}
+
+// Valid reports whether p is a simple path of g: consecutive vertices
+// adjacent and all vertices distinct.
+func (p Path) Valid(g *Graph) bool {
+	if len(p) == 0 {
+		return false
+	}
+	seen := make(map[V]struct{}, len(p))
+	for i, v := range p {
+		if v < 0 || int(v) >= g.N() {
+			return false
+		}
+		if _, dup := seen[v]; dup {
+			return false
+		}
+		seen[v] = struct{}{}
+		if i > 0 && !g.HasEdge(p[i-1], v) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareLabelSeqs compares two label sequences per the lexicographical
+// path order of Definition 2: shorter sequences order first; equal-length
+// sequences compare label-by-label. It returns -1, 0, or +1.
+func CompareLabelSeqs(a, b []Label) int {
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return -1
+		}
+		return 1
+	}
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// ComparePathsLex compares two paths of g by the lexicographical path
+// order of Definition 2 (labels only). It returns -1, 0, or +1.
+func ComparePathsLex(g *Graph, a, b Path) int {
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return -1
+		}
+		return 1
+	}
+	for i := range a {
+		la, lb := g.Label(a[i]), g.Label(b[i])
+		switch {
+		case la < lb:
+			return -1
+		case la > lb:
+			return 1
+		}
+	}
+	return 0
+}
+
+// ComparePathsTotal compares two paths of g by the total path order of
+// Definition 3: lexicographical label order first, physical vertex ID
+// sequence as tie-break. Distinct simple paths always compare non-equal,
+// which is what makes the canonical diameter unique.
+func ComparePathsTotal(g *Graph, a, b Path) int {
+	if c := ComparePathsLex(g, a, b); c != 0 {
+		return c
+	}
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// CanonicalOrientation returns p or its reversal, whichever is smaller in
+// the total path order. A path subgraph has two traversal orders; the
+// canonical orientation picks a unique representative.
+func (p Path) CanonicalOrientation(g *Graph) Path {
+	r := p.Reversed()
+	if ComparePathsTotal(g, r, p) < 0 {
+		return r
+	}
+	return p
+}
+
+// CanonicalLabelSeq returns the lexicographically smaller of the label
+// sequence and its reversal. Two path *patterns* are isomorphic exactly
+// when their canonical label sequences agree.
+func CanonicalLabelSeq(seq []Label) []Label {
+	n := len(seq)
+	rev := make([]Label, n)
+	for i, l := range seq {
+		rev[n-1-i] = l
+	}
+	if CompareLabelSeqs(rev, seq) < 0 {
+		return rev
+	}
+	out := make([]Label, n)
+	copy(out, seq)
+	return out
+}
+
+// LabelSeqKey encodes a label sequence as a comparable string key.
+func LabelSeqKey(seq []Label) string {
+	b := make([]byte, 0, len(seq)*4)
+	for _, l := range seq {
+		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(b)
+}

@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPathBasics(t *testing.T) {
+	g := buildPath(3, 1, 2, 1)
+	p := Path{0, 1, 2, 3}
+	if p.Len() != 3 {
+		t.Errorf("Len = %d, want 3", p.Len())
+	}
+	if p.Head() != 0 || p.Tail() != 3 {
+		t.Errorf("head/tail = %d/%d", p.Head(), p.Tail())
+	}
+	r := p.Reversed()
+	want := Path{3, 2, 1, 0}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Reversed = %v, want %v", r, want)
+		}
+	}
+	seq := p.LabelSeq(g)
+	wantSeq := []Label{3, 1, 2, 1}
+	for i := range wantSeq {
+		if seq[i] != wantSeq[i] {
+			t.Fatalf("LabelSeq = %v, want %v", seq, wantSeq)
+		}
+	}
+}
+
+func TestPathValid(t *testing.T) {
+	g := buildPath(0, 1, 2)
+	cases := []struct {
+		name string
+		p    Path
+		want bool
+	}{
+		{"good", Path{0, 1, 2}, true},
+		{"single", Path{1}, true},
+		{"non-adjacent", Path{0, 2}, false},
+		{"repeat vertex", Path{0, 1, 0}, false},
+		{"out of range", Path{0, 9}, false},
+		{"empty", Path{}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(g); got != c.want {
+			t.Errorf("%s: Valid = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCompareLabelSeqs(t *testing.T) {
+	cases := []struct {
+		a, b []Label
+		want int
+	}{
+		{[]Label{1}, []Label{1, 2}, -1},    // shorter first (Def 2 case I)
+		{[]Label{1, 2}, []Label{1, 3}, -1}, // label order (Def 2 case II)
+		{[]Label{1, 3}, []Label{1, 2}, 1},
+		{[]Label{2, 2}, []Label{2, 2}, 0},
+		{nil, nil, 0},
+	}
+	for _, c := range cases {
+		if got := CompareLabelSeqs(c.a, c.b); got != c.want {
+			t.Errorf("CompareLabelSeqs(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestComparePathsTotalTieBreak(t *testing.T) {
+	// Two label-equal paths must order by physical IDs (Def 3 case II).
+	g := New(4)
+	g.AddVertex(5) // 0
+	g.AddVertex(7) // 1
+	g.AddVertex(7) // 2
+	g.AddVertex(5) // 3
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(3, 1)
+	a := Path{0, 1}
+	b := Path{0, 2}
+	if ComparePathsLex(g, a, b) != 0 {
+		t.Fatal("paths should be label-equal")
+	}
+	if ComparePathsTotal(g, a, b) != -1 {
+		t.Error("smaller ID sequence should order first")
+	}
+	// ID sequences compare positionwise: head 3 > head 0.
+	c := Path{3, 1} // labels (5,7) with larger head ID
+	if ComparePathsTotal(g, c, b) != 1 {
+		t.Error("label-equal path with larger head ID should order after (0,2)")
+	}
+}
+
+// TestTotalOrderProperties checks that the total path order (Def 3) is a
+// strict total order on distinct simple paths of a random graph.
+func TestTotalOrderProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := New(8)
+	for i := 0; i < 8; i++ {
+		g.AddVertex(Label(rng.Intn(3)))
+	}
+	for v := 1; v < 8; v++ {
+		g.MustAddEdge(V(rng.Intn(v)), V(v))
+	}
+	// Collect all simple paths up to length 3.
+	var paths []Path
+	var dfs func(p Path)
+	dfs = func(p Path) {
+		paths = append(paths, append(Path(nil), p...))
+		if len(p) > 3 {
+			return
+		}
+		last := p[len(p)-1]
+		for _, w := range g.Neighbors(last) {
+			dup := false
+			for _, v := range p {
+				if v == w {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				dfs(append(p, w))
+			}
+		}
+	}
+	for v := 0; v < 8; v++ {
+		dfs(Path{V(v)})
+	}
+	for i := range paths {
+		for j := range paths {
+			cij := ComparePathsTotal(g, paths[i], paths[j])
+			cji := ComparePathsTotal(g, paths[j], paths[i])
+			if cij != -cji {
+				t.Fatalf("antisymmetry violated for %v vs %v", paths[i], paths[j])
+			}
+			if i != j && cij == 0 && !samePath(paths[i], paths[j]) {
+				t.Fatalf("distinct paths compare equal: %v vs %v", paths[i], paths[j])
+			}
+		}
+	}
+}
+
+func samePath(a, b Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCanonicalOrientation(t *testing.T) {
+	g := buildPath(2, 1, 0)
+	p := Path{0, 1, 2} // labels 2,1,0
+	co := p.CanonicalOrientation(g)
+	if co.Head() != 2 {
+		t.Errorf("canonical orientation should start at label 0; got head %d", co.Head())
+	}
+	// Palindromic labels: tie broken by IDs, orientation stable.
+	h := buildPath(1, 2, 1)
+	q := Path{0, 1, 2}
+	if got := q.CanonicalOrientation(h); got.Head() != 0 {
+		t.Errorf("palindrome should pick smaller ID head; got %v", got)
+	}
+}
+
+func TestCanonicalLabelSeq(t *testing.T) {
+	if got := CanonicalLabelSeq([]Label{3, 1, 2}); got[0] != 2 {
+		t.Errorf("canonical seq = %v, want reversed", got)
+	}
+	if got := CanonicalLabelSeq([]Label{1, 2, 3}); got[0] != 1 {
+		t.Errorf("canonical seq = %v, want forward", got)
+	}
+	// Property: canonical of seq equals canonical of reversed seq.
+	f := func(raw []uint8) bool {
+		seq := make([]Label, len(raw))
+		for i, r := range raw {
+			seq[i] = Label(r % 5)
+		}
+		rev := make([]Label, len(seq))
+		for i, l := range seq {
+			rev[len(seq)-1-i] = l
+		}
+		return LabelSeqKey(CanonicalLabelSeq(seq)) == LabelSeqKey(CanonicalLabelSeq(rev))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelSeqKeyDistinct(t *testing.T) {
+	a := LabelSeqKey([]Label{1, 2})
+	b := LabelSeqKey([]Label{1, 3})
+	c := LabelSeqKey([]Label{1, 2, 0})
+	if a == b || a == c || b == c {
+		t.Error("distinct sequences should have distinct keys")
+	}
+}

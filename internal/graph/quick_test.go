@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickGraph derives a deterministic random connected graph from quick's
+// fuzz inputs.
+func quickGraph(seed int64, nRaw, extraRaw uint8) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + int(nRaw%10)
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(Label(rng.Intn(4)))
+	}
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(V(rng.Intn(v)), V(v))
+	}
+	for e := 0; e < int(extraRaw%6); e++ {
+		u, w := V(rng.Intn(n)), V(rng.Intn(n))
+		if u != w && !g.HasEdge(u, w) {
+			g.MustAddEdge(u, w)
+		}
+	}
+	return g
+}
+
+// TestQuickBFSSymmetry: shortest distances in an undirected graph are
+// symmetric.
+func TestQuickBFSSymmetry(t *testing.T) {
+	f := func(seed int64, nRaw, extraRaw uint8) bool {
+		g := quickGraph(seed, nRaw, extraRaw)
+		d := g.AllPairsDistances()
+		for u := 0; u < g.N(); u++ {
+			for w := 0; w < g.N(); w++ {
+				if d[u][w] != d[w][u] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTriangleInequality: d(u,w) <= d(u,x) + d(x,w).
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(seed int64, nRaw, extraRaw uint8) bool {
+		g := quickGraph(seed, nRaw, extraRaw)
+		d := g.AllPairsDistances()
+		n := g.N()
+		for u := 0; u < n; u++ {
+			for w := 0; w < n; w++ {
+				for x := 0; x < n; x++ {
+					if d[u][w] > d[u][x]+d[x][w] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCanonicalDiameterInvariants: the canonical diameter is a
+// valid simple path whose length equals the diameter and whose
+// endpoints realize it; and it is minimal among its own orientations.
+func TestQuickCanonicalDiameterInvariants(t *testing.T) {
+	f := func(seed int64, nRaw, extraRaw uint8) bool {
+		g := quickGraph(seed, nRaw, extraRaw)
+		cd, diam := g.CanonicalDiameter()
+		if diam != g.Diameter() {
+			return false
+		}
+		if !cd.Valid(g) || int32(cd.Len()) != diam {
+			return false
+		}
+		d := g.BFS(cd.Head())
+		if d[cd.Tail()] != diam {
+			return false
+		}
+		return ComparePathsTotal(g, cd, cd.Reversed()) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVertexLevelsBounds: levels w.r.t. the canonical diameter are
+// bounded by distance to either endpoint.
+func TestQuickVertexLevelsBounds(t *testing.T) {
+	f := func(seed int64, nRaw, extraRaw uint8) bool {
+		g := quickGraph(seed, nRaw, extraRaw)
+		cd, _ := g.CanonicalDiameter()
+		levels := g.VertexLevels(cd)
+		dh := g.BFS(cd.Head())
+		for v := 0; v < g.N(); v++ {
+			if levels[v] > dh[v] {
+				return false
+			}
+			if levels[v] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEmbeddingReflexive: every graph embeds into itself.
+func TestQuickEmbeddingReflexive(t *testing.T) {
+	f := func(seed int64, nRaw, extraRaw uint8) bool {
+		g := quickGraph(seed, nRaw, extraRaw)
+		return HasEmbedding(g, g) && Isomorphic(g, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,181 @@
+package gspan
+
+import (
+	"math/rand"
+	"testing"
+
+	"skinnymine/internal/dfscode"
+	"skinnymine/internal/graph"
+	"skinnymine/internal/support"
+	"skinnymine/internal/testutil"
+)
+
+// bruteTransactionSupport enumerates all connected subgraph patterns of
+// the database graphs (by edge subsets), counts graph support, and keeps
+// the frequent ones. Ground truth for small inputs.
+func bruteTransactionSupport(graphs []*graph.Graph, sigma, maxEdges int) map[string]int {
+	gidsByCode := make(map[string]map[int32]struct{})
+	for gi, g := range graphs {
+		es := g.Edges()
+		n := len(es)
+		for mask := 1; mask < 1<<n; mask++ {
+			if maxEdges > 0 && popcount(mask) > maxEdges {
+				continue
+			}
+			sub := subgraphOf(g, es, mask)
+			if sub == nil || !sub.Connected() {
+				continue
+			}
+			code := dfscode.MinCodeKey(sub)
+			if gidsByCode[code] == nil {
+				gidsByCode[code] = make(map[int32]struct{})
+			}
+			gidsByCode[code][int32(gi)] = struct{}{}
+		}
+	}
+	out := make(map[string]int)
+	for code, gids := range gidsByCode {
+		if len(gids) >= sigma {
+			out[code] = len(gids)
+		}
+	}
+	return out
+}
+
+func popcount(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+func subgraphOf(g *graph.Graph, es []graph.Edge, mask int) *graph.Graph {
+	var vs []graph.V
+	seen := make(map[graph.V]struct{})
+	var chosen []graph.Edge
+	for i := range es {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		chosen = append(chosen, es[i])
+		for _, v := range []graph.V{es[i].U, es[i].W} {
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				vs = append(vs, v)
+			}
+		}
+	}
+	idx := make(map[graph.V]graph.V)
+	sub := graph.New(len(vs))
+	for i, v := range vs {
+		idx[v] = graph.V(i)
+		sub.AddVertex(g.Label(v))
+	}
+	for _, e := range chosen {
+		sub.MustAddEdge(idx[e.U], idx[e.W])
+	}
+	return sub
+}
+
+func TestGSpanMatchesBruteForceTransaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 15; trial++ {
+		var db []*graph.Graph
+		for i := 0; i < 4; i++ {
+			db = append(db, testutil.RandomConnectedGraph(rng, 4+rng.Intn(3), rng.Intn(2), 2))
+		}
+		for _, sigma := range []int{1, 2, 3} {
+			res, err := Mine(db, Options{Support: sigma, Measure: support.GraphCount, MinEdges: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[string]int)
+			for _, p := range res.Patterns {
+				if _, dup := got[p.Code.Key()]; dup {
+					t.Fatalf("trial %d: duplicate code in output", trial)
+				}
+				got[dfscode.MinCodeKey(p.G)] = p.Support
+			}
+			want := bruteTransactionSupport(db, sigma, 0)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d σ=%d: %d patterns, want %d", trial, sigma, len(got), len(want))
+			}
+			for code, sup := range want {
+				if got[code] != sup {
+					t.Fatalf("trial %d σ=%d: support %d, want %d", trial, sigma, got[code], sup)
+				}
+			}
+		}
+	}
+}
+
+func TestGSpanSingleGraphEmbeddingCount(t *testing.T) {
+	// Path a-a-a-a: pattern a-a has 3 embeddings, a-a-a has 2, a-a-a-a 1.
+	g := testutil.PathGraph(0, 0, 0, 0)
+	res, err := MineSingle(g, Options{Support: 2, MinEdges: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySize := map[int]int{}
+	for _, p := range res.Patterns {
+		bySize[p.G.M()] = p.Support
+	}
+	if bySize[1] != 3 || bySize[2] != 2 {
+		t.Errorf("supports by size = %v, want 1:3 2:2", bySize)
+	}
+	if _, ok := bySize[3]; ok {
+		t.Error("length-3 path has support 1 < 2")
+	}
+}
+
+func TestGSpanMaxEdgesAndMinEdges(t *testing.T) {
+	g := testutil.PathGraph(0, 0, 0, 0, 0)
+	res, err := MineSingle(g, Options{Support: 1, MinEdges: 2, MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		if p.G.M() < 2 || p.G.M() > 3 {
+			t.Errorf("pattern size %d outside [2,3]", p.G.M())
+		}
+	}
+}
+
+func TestGSpanMaxPatterns(t *testing.T) {
+	g := testutil.PathGraph(0, 1, 2, 3, 4)
+	res, err := MineSingle(g, Options{Support: 1, MinEdges: 1, MaxPatterns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 3 {
+		t.Errorf("got %d patterns, want 3", len(res.Patterns))
+	}
+}
+
+func TestGSpanFilter(t *testing.T) {
+	g := testutil.PathGraph(0, 1, 2, 3)
+	res, err := Mine([]*graph.Graph{g}, Options{
+		Support: 1, Measure: support.EmbeddingCount, MinEdges: 1,
+		Filter: func(p *graph.Graph) bool { return p.M() == 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 2 {
+		t.Fatalf("got %d patterns, want 2 (length-2 paths)", len(res.Patterns))
+	}
+	if res.Visited <= len(res.Patterns) {
+		t.Error("enumerate-and-check should visit more nodes than it reports")
+	}
+}
+
+func TestGSpanErrors(t *testing.T) {
+	if _, err := Mine(nil, Options{Support: 1}); err == nil {
+		t.Error("empty DB should error")
+	}
+	g := testutil.PathGraph(0, 1)
+	if _, err := Mine([]*graph.Graph{g}, Options{Support: 0}); err == nil {
+		t.Error("support 0 should error")
+	}
+}

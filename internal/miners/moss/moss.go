@@ -1,0 +1,53 @@
+// Package moss provides the MoSS baseline (Fiedler & Borgelt, MLG 2007):
+// complete frequent subgraph mining in a single graph. Like the original
+// it enumerates the full frequent pattern space — which is why the paper
+// shows it failing to finish on denser settings — here via the gSpan
+// canonical-code search parameterized with embedding-count support.
+//
+// MineConstrained post-filters the complete output by a constraint; this
+// is the enumerate-and-check reference SkinnyMine is compared against
+// (and the ground truth used by integration tests).
+package moss
+
+import (
+	"skinnymine/internal/graph"
+	"skinnymine/internal/miners/gspan"
+	"skinnymine/internal/support"
+)
+
+// Options configures MoSS.
+type Options struct {
+	// Support is the minimum number of embeddings (distinct subgraphs).
+	Support int
+	// MaxEdges bounds the search depth (0 = unlimited; beware blow-up,
+	// which is the documented failure mode on GID 2/4/5).
+	MaxEdges int
+	// MaxPatterns stops after this many patterns (0 = unlimited).
+	MaxPatterns int
+}
+
+// Result re-exports the engine's result type.
+type Result = gspan.Result
+
+// Mine runs the complete single-graph miner.
+func Mine(g *graph.Graph, opt Options) (*Result, error) {
+	return gspan.Mine([]*graph.Graph{g}, gspan.Options{
+		Support:     opt.Support,
+		Measure:     support.EmbeddingCount,
+		MaxEdges:    opt.MaxEdges,
+		MaxPatterns: opt.MaxPatterns,
+	})
+}
+
+// MineConstrained runs the complete miner and keeps only patterns
+// satisfying the predicate — traversing the whole frequent pattern
+// space regardless (no constraint push-down).
+func MineConstrained(g *graph.Graph, opt Options, keep func(*graph.Graph) bool) (*Result, error) {
+	return gspan.Mine([]*graph.Graph{g}, gspan.Options{
+		Support:     opt.Support,
+		Measure:     support.EmbeddingCount,
+		MaxEdges:    opt.MaxEdges,
+		MaxPatterns: opt.MaxPatterns,
+		Filter:      keep,
+	})
+}

@@ -1,0 +1,127 @@
+package origami
+
+import (
+	"math/rand"
+	"testing"
+
+	"skinnymine/internal/graph"
+	"skinnymine/internal/testutil"
+)
+
+func smallDB() []*graph.Graph {
+	var db []*graph.Graph
+	for i := 0; i < 5; i++ {
+		g := testutil.PathGraph(1, 2, 3, 4)
+		tw := g.AddVertex(5)
+		g.MustAddEdge(1, tw)
+		db = append(db, g)
+	}
+	return db
+}
+
+func TestOrigamiFindsMaximalPatterns(t *testing.T) {
+	db := smallDB()
+	rng := rand.New(rand.NewSource(13))
+	res, err := Mine(db, Options{Support: 5, Walks: 30, Alpha: 0.9, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns sampled")
+	}
+	// Every graph is identical, so the unique maximal pattern is the
+	// whole 4-edge graph; all walks must converge to it.
+	for _, p := range res.Patterns {
+		if p.G.M() != 4 {
+			t.Errorf("maximal pattern has %d edges, want 4", p.G.M())
+		}
+		if p.Support != 5 {
+			t.Errorf("support = %d, want 5", p.Support)
+		}
+	}
+	if res.DistinctMaximal != 1 {
+		t.Errorf("distinct maximal = %d, want 1", res.DistinctMaximal)
+	}
+}
+
+// TestOrigamiScatteredSample pins the sampling behavior on a database
+// with several disjoint maximal patterns: walks return a subset, and
+// orthogonality thins it further.
+func TestOrigamiScatteredSample(t *testing.T) {
+	var db []*graph.Graph
+	for i := 0; i < 6; i++ {
+		g := graph.New(12)
+		// Three disjoint motifs per graph with distinct label families.
+		for f := 0; f < 3; f++ {
+			a := g.AddVertex(graph.Label(10 * (f + 1)))
+			b := g.AddVertex(graph.Label(10*(f+1) + 1))
+			c := g.AddVertex(graph.Label(10*(f+1) + 2))
+			g.MustAddEdge(a, b)
+			g.MustAddEdge(b, c)
+		}
+		db = append(db, g)
+	}
+	rng := rand.New(rand.NewSource(17))
+	res, err := Mine(db, Options{Support: 6, Walks: 40, Alpha: 0.3, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistinctMaximal < 2 {
+		t.Errorf("expected several distinct maximal patterns, got %d", res.DistinctMaximal)
+	}
+	// Orthogonality: pairwise similarity must be <= alpha.
+	for i := range res.Patterns {
+		for j := i + 1; j < len(res.Patterns); j++ {
+			if s := similarity(res.Patterns[i].G, res.Patterns[j].G); s > 0.3 {
+				t.Errorf("patterns %d,%d similarity %.2f > alpha", i, j, s)
+			}
+		}
+	}
+}
+
+func TestOrigamiWalkRespectsMaxEdges(t *testing.T) {
+	db := smallDB()
+	rng := rand.New(rand.NewSource(19))
+	res, err := Mine(db, Options{Support: 5, Walks: 10, MaxEdges: 2, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		if p.G.M() > 2 {
+			t.Errorf("pattern with %d edges exceeds MaxEdges", p.G.M())
+		}
+	}
+}
+
+func TestOrigamiErrors(t *testing.T) {
+	if _, err := Mine(nil, Options{Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("empty DB should error")
+	}
+	if _, err := Mine(smallDB(), Options{}); err == nil {
+		t.Error("nil Rng should error")
+	}
+}
+
+func TestOrigamiInfrequentDB(t *testing.T) {
+	db := []*graph.Graph{testutil.PathGraph(1, 2), testutil.PathGraph(3, 4)}
+	rng := rand.New(rand.NewSource(23))
+	res, err := Mine(db, Options{Support: 2, Walks: 5, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 0 {
+		t.Errorf("nothing is frequent at σ=2, got %d patterns", len(res.Patterns))
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	a := testutil.PathGraph(1, 2, 1)
+	b := testutil.PathGraph(1, 2, 1)
+	if s := similarity(a, b); s < 0.99 {
+		t.Errorf("identical graphs similarity = %f, want 1", s)
+	}
+	c := testutil.PathGraph(7, 8)
+	if s := similarity(a, c); s != 0 {
+		t.Errorf("disjoint-label graphs similarity = %f, want 0", s)
+	}
+}

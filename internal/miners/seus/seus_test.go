@@ -1,0 +1,115 @@
+package seus
+
+import (
+	"testing"
+
+	"skinnymine/internal/graph"
+	"skinnymine/internal/testutil"
+)
+
+func TestSEuSFindsFrequentEdgePatterns(t *testing.T) {
+	// Many a-b edges.
+	g := graph.New(20)
+	for c := 0; c < 6; c++ {
+		a := g.AddVertex(1)
+		b := g.AddVertex(2)
+		g.MustAddEdge(a, b)
+	}
+	for c := 1; c < 6; c++ {
+		g.MustAddEdge(graph.V((c-1)*2), graph.V(c*2))
+	}
+	res, err := Mine(g, Options{Support: 3, MaxSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range res.Patterns {
+		if p.G.M() == 1 && p.Support >= 6 {
+			found = true
+		}
+		// For single-edge patterns the summary weight is exact.
+		if p.G.M() == 1 && p.Support != p.Estimate {
+			t.Errorf("single-edge support %d != summary weight %d", p.Support, p.Estimate)
+		}
+	}
+	if !found {
+		t.Error("the a-b edge pattern should be found with support >= 6")
+	}
+}
+
+// TestSEuSProducesSmallPatterns pins the node-collapsing limitation: on
+// a graph with a long injected path of distinct labels (each pair
+// infrequent), SEuS keeps only small structures.
+func TestSEuSProducesSmallPatterns(t *testing.T) {
+	g := graph.New(40)
+	// Background of frequent but pairwise-disjoint a-b edges: no real
+	// pattern larger than one edge exists among them.
+	for c := 0; c < 5; c++ {
+		a := g.AddVertex(1)
+		b := g.AddVertex(2)
+		g.MustAddEdge(a, b)
+	}
+	// Long unique-label path: each edge class has summary weight 1, so
+	// the whole path is pruned by the σ=2 estimate.
+	base := g.N()
+	for i := 0; i < 12; i++ {
+		g.AddVertex(graph.Label(10 + i))
+	}
+	for i := 1; i < 12; i++ {
+		g.MustAddEdge(graph.V(base+i-1), graph.V(base+i))
+	}
+	res, err := Mine(g, Options{Support: 2, MaxSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		if p.G.N() > 2 {
+			t.Errorf("pattern with %d vertices; only the disjoint a-b edge is truly frequent", p.G.N())
+		}
+	}
+}
+
+func TestSEuSEstimatePopulated(t *testing.T) {
+	g := testutil.CycleGraph(0, 1, 0, 1)
+	res, err := Mine(g, Options{Support: 1, MaxSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("expected patterns")
+	}
+	for _, p := range res.Patterns {
+		if p.Estimate <= 0 {
+			t.Errorf("estimate %d should be positive", p.Estimate)
+		}
+		// Single-edge patterns: summary weight is the exact support.
+		if p.G.M() == 1 && p.Support != p.Estimate {
+			t.Errorf("single-edge support %d != estimate %d", p.Support, p.Estimate)
+		}
+	}
+	if res.Candidates == 0 {
+		t.Error("candidate counter should be populated")
+	}
+}
+
+func TestSEuSEmptyGraph(t *testing.T) {
+	if _, err := Mine(graph.New(0), Options{}); err == nil {
+		t.Error("empty graph should error")
+	}
+}
+
+func TestBuildSummary(t *testing.T) {
+	g := testutil.PathGraph(1, 2, 1, 2)
+	s := buildSummary(g)
+	if len(s.labels) != 2 {
+		t.Errorf("summary nodes = %d, want 2", len(s.labels))
+	}
+	// Three edges, all between classes 1 and 2.
+	total := 0
+	for _, w := range s.weight {
+		total += w
+	}
+	if total != 3 {
+		t.Errorf("summary edge weight = %d, want 3", total)
+	}
+}

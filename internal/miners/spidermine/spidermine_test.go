@@ -1,0 +1,155 @@
+package spidermine
+
+import (
+	"math/rand"
+	"testing"
+
+	"skinnymine/internal/graph"
+	"skinnymine/internal/testutil"
+)
+
+// buildFatAndSkinny injects, into a labeled background ring, (a) two
+// copies of a fat pattern (small diameter, many vertices) and (b) two
+// copies of a long skinny path. Returns graph plus injected sizes.
+func buildFatAndSkinny(rng *rand.Rand) (*graph.Graph, int, int) {
+	g := graph.New(200)
+	for i := 0; i < 60; i++ {
+		g.AddVertex(graph.Label(50 + rng.Intn(20)))
+	}
+	for i := 0; i < 60; i++ {
+		g.MustAddEdge(graph.V(i), graph.V((i+1)%60))
+	}
+	// Fat: wheel of 9 vertices around a hub (diameter 2), labels 1..9.
+	fatSize := 10
+	for c := 0; c < 2; c++ {
+		hub := g.AddVertex(1)
+		var rim []graph.V
+		for i := 0; i < 9; i++ {
+			v := g.AddVertex(graph.Label(2 + i))
+			g.MustAddEdge(hub, v)
+			rim = append(rim, v)
+		}
+		for i := 0; i < 9; i++ {
+			g.MustAddEdge(rim[i], rim[(i+1)%9])
+		}
+	}
+	// Skinny: path of 13 vertices (diameter 12), labels 20..32.
+	skinnyLen := 13
+	for c := 0; c < 2; c++ {
+		base := g.N()
+		for i := 0; i < skinnyLen; i++ {
+			g.AddVertex(graph.Label(20 + i))
+		}
+		for i := 1; i < skinnyLen; i++ {
+			g.MustAddEdge(graph.V(base+i-1), graph.V(base+i))
+		}
+	}
+	return g, fatSize, skinnyLen
+}
+
+// TestSpiderMineFindsFatMissesSkinny pins the behavioral contrast the
+// paper exploits: with Dmax=4, SpiderMine recovers the fat injected
+// pattern but cannot assemble the diameter-12 skinny one.
+func TestSpiderMineFindsFatMissesSkinny(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, fatSize, _ := buildFatAndSkinny(rng)
+	res, err := Mine(g, Options{K: 5, R: 1, Dmax: 4, Seeds: 120, Support: 2, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns found")
+	}
+	foundFat := false
+	for _, p := range res.Patterns {
+		if p.G.N() >= fatSize {
+			foundFat = true
+		}
+		if d := p.G.Diameter(); d > 4 {
+			t.Errorf("pattern with diameter %d exceeds Dmax", d)
+		}
+	}
+	if !foundFat {
+		t.Error("fat injected pattern not recovered")
+	}
+	for _, p := range res.Patterns {
+		if p.G.Diameter() >= 8 {
+			t.Error("skinny pattern should be truncated by the Dmax bound")
+		}
+	}
+}
+
+func TestSpiderMineTopKOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, _, _ := buildFatAndSkinny(rng)
+	res, err := Mine(g, Options{K: 3, R: 1, Dmax: 4, Seeds: 60, Support: 2, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) > 3 {
+		t.Errorf("K=3 but got %d patterns", len(res.Patterns))
+	}
+	for i := 1; i < len(res.Patterns); i++ {
+		if res.Patterns[i-1].G.N() < res.Patterns[i].G.N() {
+			t.Error("patterns should be sorted largest first")
+		}
+	}
+}
+
+func TestSpiderMineDeterministicWithSeed(t *testing.T) {
+	build := func() *Result {
+		rng := rand.New(rand.NewSource(7))
+		g, _, _ := buildFatAndSkinny(rng)
+		res, err := Mine(g, Options{K: 4, R: 1, Dmax: 4, Seeds: 40, Support: 2, Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := build(), build()
+	if len(a.Patterns) != len(b.Patterns) {
+		t.Fatalf("non-deterministic: %d vs %d patterns", len(a.Patterns), len(b.Patterns))
+	}
+	for i := range a.Patterns {
+		if !graph.Isomorphic(a.Patterns[i].G, b.Patterns[i].G) {
+			t.Error("non-deterministic pattern order")
+		}
+	}
+}
+
+func TestSpiderMineOptionErrors(t *testing.T) {
+	g := testutil.PathGraph(0, 1)
+	if _, err := Mine(g, Options{K: 1, Seeds: 1}); err == nil {
+		t.Error("nil Rng should error")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Mine(g, Options{K: 0, Seeds: 1, Rng: rng}); err == nil {
+		t.Error("K=0 should error")
+	}
+}
+
+func TestSpiderMineNoFrequentSpiders(t *testing.T) {
+	// All labels unique: every 1-ball is unique, support threshold 2
+	// leaves nothing.
+	g := testutil.PathGraph(1, 2, 3, 4, 5)
+	rng := rand.New(rand.NewSource(2))
+	res, err := Mine(g, Options{K: 3, R: 1, Dmax: 4, Seeds: 10, Support: 2, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 0 {
+		t.Errorf("expected no patterns, got %d", len(res.Patterns))
+	}
+}
+
+func TestBallVertices(t *testing.T) {
+	g := testutil.PathGraph(0, 0, 0, 0, 0)
+	b := ballVertices(g, 2, 1)
+	if len(b) != 3 {
+		t.Errorf("1-ball of center = %v, want 3 vertices", b)
+	}
+	b2 := ballVertices(g, 0, 2)
+	if len(b2) != 3 {
+		t.Errorf("2-ball of end = %v, want 3 vertices", b2)
+	}
+}

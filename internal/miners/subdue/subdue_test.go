@@ -1,0 +1,148 @@
+package subdue
+
+import (
+	"testing"
+
+	"skinnymine/internal/graph"
+	"skinnymine/internal/testutil"
+)
+
+// repeatedMotifGraph builds a graph with many copies of a small motif
+// (a-b-c triangle) and one big rare structure.
+func repeatedMotifGraph() *graph.Graph {
+	g := graph.New(100)
+	for c := 0; c < 8; c++ {
+		a := g.AddVertex(1)
+		b := g.AddVertex(2)
+		cc := g.AddVertex(3)
+		g.MustAddEdge(a, b)
+		g.MustAddEdge(b, cc)
+		g.MustAddEdge(a, cc)
+	}
+	// One long rare path.
+	base := g.N()
+	for i := 0; i < 10; i++ {
+		g.AddVertex(graph.Label(10 + i))
+	}
+	for i := 1; i < 10; i++ {
+		g.MustAddEdge(graph.V(base+i-1), graph.V(base+i))
+	}
+	// Connect components loosely.
+	for c := 1; c < 8; c++ {
+		g.MustAddEdge(graph.V((c-1)*3), graph.V(c*3))
+	}
+	g.MustAddEdge(0, graph.V(base))
+	return g
+}
+
+// TestSubdueFavorsSmallFrequentMotifs pins the behavior the paper
+// reports: MDL compression rewards many instances x moderate size, so
+// the best substructure is the repeated triangle, not the long rare
+// path.
+func TestSubdueFavorsSmallFrequentMotifs(t *testing.T) {
+	g := repeatedMotifGraph()
+	res, err := Mine(g, Options{Beam: 4, Limit: 60, MaxSize: 12, Best: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no substructures found")
+	}
+	best := res.Patterns[0]
+	if best.Instances < 4 {
+		t.Errorf("best substructure has %d instances; expected a frequent motif", best.Instances)
+	}
+	if best.G.N() > 8 {
+		t.Errorf("best substructure has %d vertices; SUBDUE should prefer small motifs", best.G.N())
+	}
+	for _, p := range res.Patterns {
+		if p.G.N() >= 10 {
+			t.Error("the rare 10-vertex path should not outrank frequent motifs")
+		}
+	}
+}
+
+// TestSubdueShiftsSmallerWithMoreSupport mirrors Figures 6-8: raising
+// the support of small patterns shifts SUBDUE's output toward them.
+func TestSubdueShiftsSmallerWithMoreSupport(t *testing.T) {
+	// Few motifs: best pattern can afford to be bigger.
+	sparse := graph.New(20)
+	for c := 0; c < 2; c++ {
+		a := sparse.AddVertex(1)
+		b := sparse.AddVertex(2)
+		cc := sparse.AddVertex(3)
+		d := sparse.AddVertex(4)
+		sparse.MustAddEdge(a, b)
+		sparse.MustAddEdge(b, cc)
+		sparse.MustAddEdge(cc, d)
+	}
+	sparse.MustAddEdge(0, 4)
+	// Many copies of just the a-b edge.
+	dense := graph.New(60)
+	for c := 0; c < 2; c++ {
+		a := dense.AddVertex(1)
+		b := dense.AddVertex(2)
+		cc := dense.AddVertex(3)
+		d := dense.AddVertex(4)
+		dense.MustAddEdge(a, b)
+		dense.MustAddEdge(b, cc)
+		dense.MustAddEdge(cc, d)
+	}
+	dense.MustAddEdge(0, 4)
+	for c := 0; c < 20; c++ {
+		a := dense.AddVertex(1)
+		b := dense.AddVertex(2)
+		dense.MustAddEdge(a, b)
+	}
+
+	rs, err := Mine(sparse, Options{Beam: 4, Limit: 40, Best: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Mine(dense, Options{Beam: 4, Limit: 40, Best: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Patterns) == 0 || len(rd.Patterns) == 0 {
+		t.Fatal("missing results")
+	}
+	if rd.Patterns[0].G.M() > rs.Patterns[0].G.M() {
+		t.Errorf("with many small-pattern instances the best should not grow: dense=%d sparse=%d edges",
+			rd.Patterns[0].G.M(), rs.Patterns[0].G.M())
+	}
+	if rd.Patterns[0].Instances <= rs.Patterns[0].Instances {
+		t.Errorf("dense graph's best should have more instances (%d vs %d)",
+			rd.Patterns[0].Instances, rs.Patterns[0].Instances)
+	}
+}
+
+func TestSubdueEmptyGraph(t *testing.T) {
+	if _, err := Mine(graph.New(0), Options{}); err == nil {
+		t.Error("empty graph should error")
+	}
+}
+
+func TestSubdueDefaults(t *testing.T) {
+	g := testutil.PathGraph(0, 1, 0, 1, 0)
+	res, err := Mine(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Error("defaults should find the a-b edge motif")
+	}
+	for _, p := range res.Patterns {
+		if p.Value <= 0 {
+			t.Error("compression value should be positive")
+		}
+	}
+}
+
+func TestGraphDLMonotone(t *testing.T) {
+	if graphDL(10, 20, 4) <= graphDL(5, 10, 4) {
+		t.Error("bigger graphs should cost more bits")
+	}
+	if graphDL(0, 0, 0) <= 0 {
+		t.Error("degenerate inputs should still be positive")
+	}
+}

@@ -1,0 +1,201 @@
+// Package support provides embeddings and support counting for pattern
+// mining. The paper defines an embedding of a pattern P in a graph G as a
+// subgraph of G isomorphic to P, and the support of P in the single-graph
+// setting as |E[P]|, the number of such subgraphs. Distinct isomorphism
+// maps onto the same subgraph (pattern automorphisms) therefore count
+// once; embeddings are deduplicated by their edge-set key.
+package support
+
+import (
+	"sort"
+
+	"skinnymine/internal/graph"
+)
+
+// Embedding maps pattern vertices (by index) to data-graph vertices. GID
+// identifies the transaction graph for transaction databases and is 0 in
+// the single-graph setting.
+type Embedding struct {
+	GID int32
+	Map []graph.V
+}
+
+// Clone returns a deep copy of e.
+func (e Embedding) Clone() Embedding {
+	return Embedding{GID: e.GID, Map: append([]graph.V(nil), e.Map...)}
+}
+
+// SubgraphKey returns a canonical key identifying the subgraph an
+// embedding occupies: the sorted list of mapped data edges (prefixed by
+// the graph ID). Two embeddings with equal keys are the same subgraph.
+// Patterns with no edges key on the mapped vertex set instead.
+func SubgraphKey(patternEdges []graph.Edge, e Embedding) string {
+	if len(patternEdges) == 0 {
+		vs := append([]graph.V(nil), e.Map...)
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		b := make([]byte, 0, 4+len(vs)*4)
+		b = appendInt32(b, e.GID)
+		for _, v := range vs {
+			b = appendInt32(b, v)
+		}
+		return string(b)
+	}
+	es := make([]graph.Edge, len(patternEdges))
+	for i, pe := range patternEdges {
+		es[i] = graph.Edge{U: e.Map[pe.U], W: e.Map[pe.W]}.Norm()
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].W < es[j].W
+	})
+	b := make([]byte, 0, 4+len(es)*8)
+	b = appendInt32(b, e.GID)
+	for _, e := range es {
+		b = appendInt32(b, e.U)
+		b = appendInt32(b, e.W)
+	}
+	return string(b)
+}
+
+func appendInt32(b []byte, v int32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// Set accumulates embeddings of one pattern. Support counts distinct
+// subgraphs, but storage keeps every distinct isomorphism *map*: pattern
+// automorphisms (e.g. a palindromic diameter) make several maps occupy
+// one subgraph, and extension must proceed from all of them or patterns
+// grown on the "other side" of a symmetry lose embeddings. The zero
+// value is not ready; use NewSet.
+type Set struct {
+	patternEdges []graph.Edge
+	embs         []Embedding
+	keys         map[string]struct{} // subgraph keys (support)
+	mapKeys      map[string]struct{} // exact map keys (storage dedup)
+	limit        int                 // 0 = unlimited
+	truncated    bool
+}
+
+// NewSet returns an embedding set for a pattern with the given edges.
+// limit caps the number of *stored* embeddings (0 = unlimited); the
+// support count keeps increasing past the cap, but extension then works
+// from a sample, which mirrors practical miners under blow-up.
+func NewSet(patternEdges []graph.Edge, limit int) *Set {
+	return &Set{
+		patternEdges: patternEdges,
+		keys:         make(map[string]struct{}),
+		mapKeys:      make(map[string]struct{}),
+		limit:        limit,
+	}
+}
+
+// Add records an embedding map if it is new, copying it. It reports
+// whether the map was new. The subgraph it occupies is counted toward
+// Support whether or not the map itself was stored.
+func (s *Set) Add(e Embedding) bool {
+	mk := mapKey(e)
+	if _, dup := s.mapKeys[mk]; dup {
+		return false
+	}
+	s.mapKeys[mk] = struct{}{}
+	s.keys[SubgraphKey(s.patternEdges, e)] = struct{}{}
+	if s.limit > 0 && len(s.embs) >= s.limit {
+		s.truncated = true
+		return true
+	}
+	s.embs = append(s.embs, e.Clone())
+	return true
+}
+
+func mapKey(e Embedding) string {
+	b := make([]byte, 0, 4+len(e.Map)*4)
+	b = appendInt32(b, e.GID)
+	for _, v := range e.Map {
+		b = appendInt32(b, v)
+	}
+	return string(b)
+}
+
+// Support returns the number of distinct subgraphs recorded (the paper's
+// |E[P]| in the single-graph setting).
+func (s *Set) Support() int { return len(s.keys) }
+
+// GraphSupport returns the number of distinct transaction graphs with at
+// least one embedding.
+func (s *Set) GraphSupport() int {
+	gids := make(map[int32]struct{})
+	for _, e := range s.embs {
+		gids[e.GID] = struct{}{}
+	}
+	return len(gids)
+}
+
+// MNI returns the minimum-image-based support (Bringmann & Nijssen): the
+// minimum over pattern vertices of the number of distinct data vertices
+// it maps to. It is anti-monotone in the single-graph setting and
+// provided as an alternative support measure.
+func (s *Set) MNI() int {
+	if len(s.embs) == 0 {
+		return 0
+	}
+	k := len(s.embs[0].Map)
+	minImg := -1
+	seen := make(map[graph.V]struct{})
+	for i := 0; i < k; i++ {
+		clear(seen)
+		for _, e := range s.embs {
+			seen[e.Map[i]] = struct{}{}
+		}
+		if minImg < 0 || len(seen) < minImg {
+			minImg = len(seen)
+		}
+	}
+	return minImg
+}
+
+// Embeddings returns the stored embeddings. Callers must not modify.
+func (s *Set) Embeddings() []Embedding { return s.embs }
+
+// Truncated reports whether the storage cap dropped embeddings.
+func (s *Set) Truncated() bool { return s.truncated }
+
+// Measure selects how support is counted.
+type Measure int
+
+const (
+	// EmbeddingCount counts distinct subgraphs (the paper's |E[P]|).
+	EmbeddingCount Measure = iota
+	// GraphCount counts transaction graphs containing the pattern.
+	GraphCount
+	// MNICount uses minimum-image-based support.
+	MNICount
+)
+
+// Count returns the set's support under the given measure.
+func (s *Set) Count(m Measure) int {
+	switch m {
+	case GraphCount:
+		return s.GraphSupport()
+	case MNICount:
+		return s.MNI()
+	default:
+		return s.Support()
+	}
+}
+
+// CountEmbeddings enumerates all embeddings of pattern p in each target
+// graph and returns the filled Set. For transaction databases pass all
+// graphs; for the single-graph setting pass one.
+func CountEmbeddings(p *graph.Graph, targets []*graph.Graph, limit int) *Set {
+	set := NewSet(p.Edges(), limit)
+	for gi, t := range targets {
+		gid := int32(gi)
+		graph.EnumerateEmbeddings(p, t, func(mapped []graph.V) bool {
+			set.Add(Embedding{GID: gid, Map: mapped})
+			return true
+		})
+	}
+	return set
+}

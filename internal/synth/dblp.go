@@ -1,0 +1,139 @@
+package synth
+
+import (
+	"math/rand"
+
+	"skinnymine/internal/graph"
+)
+
+// DBLP-like heterogeneous author-timeline networks (Section 6.3 of the
+// paper). The real dataset is a bulk DBLP download joined with a venue
+// list; we simulate graphs with the same schema so the same temporal
+// collaboration patterns are discoverable:
+//
+//   - each graph is one author: a chain of year nodes (the backbone);
+//   - each year node connects to at most four collaboration nodes
+//     labeled Xk, X ∈ {P,S,J,B} (prolific/senior/junior/beginner
+//     co-author category), k ∈ {1,2,3} (collaboration strength level).
+//
+// Planted career archetypes reproduce the paper's example findings: the
+// "growing collaboration" pattern of Figure 21 (collaborating with more
+// productive authors over time) and the "early senior collaboration"
+// pattern of Figure 22.
+
+// DBLP label layout: label 0 is a year node; labels 1..12 are Xk nodes.
+const (
+	DBLPYearLabel = graph.Label(0)
+)
+
+// DBLPCollabLabel returns the label for category X (0=P,1=S,2=J,3=B) at
+// level k (1..3).
+func DBLPCollabLabel(x, k int) graph.Label {
+	return graph.Label(1 + x*3 + (k - 1))
+}
+
+// DBLPLabelName renders a label in the paper's notation (e.g. "S2").
+func DBLPLabelName(l graph.Label) string {
+	if l == DBLPYearLabel {
+		return "Year"
+	}
+	x := (int(l) - 1) / 3
+	k := (int(l)-1)%3 + 1
+	return string("PSJB"[x]) + string(rune('0'+k))
+}
+
+// DBLPOptions sizes the simulated corpus.
+type DBLPOptions struct {
+	Authors int // number of author graphs
+	Years   int // timeline length per author
+	// Archetypes is how many authors follow each planted archetype (the
+	// remainder get random careers).
+	Archetypes int
+}
+
+// DBLP builds the simulated author-timeline database.
+func DBLP(rng *rand.Rand, opt DBLPOptions) []*graph.Graph {
+	if opt.Years < 2 {
+		opt.Years = 21
+	}
+	db := make([]*graph.Graph, 0, opt.Authors)
+	for a := 0; a < opt.Authors; a++ {
+		var g *graph.Graph
+		switch {
+		case a < opt.Archetypes:
+			g = dblpGrowingCollaboration(rng, opt.Years)
+		case a < 2*opt.Archetypes:
+			g = dblpEarlySenior(rng, opt.Years)
+		default:
+			g = dblpRandomCareer(rng, opt.Years)
+		}
+		db = append(db, g)
+	}
+	return db
+}
+
+// dblpTimeline builds the year-node chain.
+func dblpTimeline(years int) *graph.Graph {
+	g := graph.New(years * 3)
+	for y := 0; y < years; y++ {
+		g.AddVertex(DBLPYearLabel)
+		if y > 0 {
+			g.MustAddEdge(graph.V(y-1), graph.V(y))
+		}
+	}
+	return g
+}
+
+func attachCollab(g *graph.Graph, year int, l graph.Label) {
+	v := g.AddVertex(l)
+	g.MustAddEdge(graph.V(year), v)
+}
+
+// dblpGrowingCollaboration plants Figure 21's shape: collaboration
+// category climbs B->J->S->P (with the strength level rising too) along
+// the career.
+func dblpGrowingCollaboration(rng *rand.Rand, years int) *graph.Graph {
+	g := dblpTimeline(years)
+	for y := 0; y < years; y++ {
+		phase := y * 4 / years // 0..3
+		x := 3 - phase         // B(3) early, P(0) late
+		k := 1 + phase*2/3
+		if k > 3 {
+			k = 3
+		}
+		attachCollab(g, y, DBLPCollabLabel(x, k))
+		// Noise collaborations.
+		if rng.Float64() < 0.3 {
+			attachCollab(g, y, DBLPCollabLabel(rng.Intn(4), 1+rng.Intn(3)))
+		}
+	}
+	return g
+}
+
+// dblpEarlySenior plants Figure 22's shape: senior/prolific
+// collaborators from the very start of the career.
+func dblpEarlySenior(rng *rand.Rand, years int) *graph.Graph {
+	g := dblpTimeline(years)
+	for y := 0; y < years; y++ {
+		x := 1 // S
+		if y%3 == 0 {
+			x = 0 // P
+		}
+		attachCollab(g, y, DBLPCollabLabel(x, 1))
+		if rng.Float64() < 0.3 {
+			attachCollab(g, y, DBLPCollabLabel(rng.Intn(4), 1+rng.Intn(3)))
+		}
+	}
+	return g
+}
+
+// dblpRandomCareer is background noise: random collaborations per year.
+func dblpRandomCareer(rng *rand.Rand, years int) *graph.Graph {
+	g := dblpTimeline(years)
+	for y := 0; y < years; y++ {
+		for c := 0; c < rng.Intn(4); c++ {
+			attachCollab(g, y, DBLPCollabLabel(rng.Intn(4), 1+rng.Intn(3)))
+		}
+	}
+	return g
+}

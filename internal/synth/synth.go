@@ -1,0 +1,270 @@
+// Package synth generates the paper's synthetic and simulated-real
+// workloads: Erdős–Rényi background graphs with injected skinny/fat
+// patterns (Tables 1–3, Figures 4–20), transaction databases (Figures
+// 9–10), and the DBLP / Sina Weibo stand-ins described in DESIGN.md §5.
+// Every generator takes an explicit *rand.Rand so all experiments are
+// reproducible bit-for-bit.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"skinnymine/internal/graph"
+)
+
+// ER builds an Erdős–Rényi G(n, p) graph with p chosen to hit the given
+// average degree, labels drawn uniformly from [0, labels).
+func ER(rng *rand.Rand, n int, avgDeg float64, labels int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(graph.Label(rng.Intn(labels)))
+	}
+	if n < 2 {
+		return g
+	}
+	// Expected edges m = n*avgDeg/2; sample by pair probability via the
+	// standard G(n, m)-style draw, which is faster and equivalent in
+	// expectation for sparse graphs.
+	m := int(float64(n) * avgDeg / 2)
+	for added := 0; added < m; {
+		u := graph.V(rng.Intn(n))
+		w := graph.V(rng.Intn(n))
+		if u == w || g.HasEdge(u, w) {
+			continue
+		}
+		g.MustAddEdge(u, w)
+		added++
+	}
+	return g
+}
+
+// SkinnySpec describes a pattern to synthesize: a backbone of Diam edges
+// with twigs branching out to depth at most Delta until V vertices are
+// reached. Labels are drawn from [LabelBase, LabelBase+LabelRange).
+type SkinnySpec struct {
+	V          int
+	Diam       int
+	Delta      int
+	LabelBase  int
+	LabelRange int
+}
+
+// RandomSkinnyPattern builds a random pattern per spec. It panics if
+// V < Diam+1 (the backbone alone needs that many vertices).
+func RandomSkinnyPattern(rng *rand.Rand, spec SkinnySpec) *graph.Graph {
+	if spec.V < spec.Diam+1 {
+		panic(fmt.Sprintf("synth: V=%d < Diam+1=%d", spec.V, spec.Diam+1))
+	}
+	if spec.LabelRange < 1 {
+		spec.LabelRange = 1
+	}
+	lab := func() graph.Label {
+		return graph.Label(spec.LabelBase + rng.Intn(spec.LabelRange))
+	}
+	g := graph.New(spec.V)
+	for i := 0; i <= spec.Diam; i++ {
+		g.AddVertex(lab())
+	}
+	for i := 1; i <= spec.Diam; i++ {
+		g.MustAddEdge(graph.V(i-1), graph.V(i))
+	}
+	level := make([]int, spec.Diam+1) // level of each vertex
+	failures := 0
+	for g.N() < spec.V && failures < 200 {
+		// Attach a twig vertex to any vertex whose level < Delta and
+		// whose position keeps the diameter intact: attach points near
+		// the backbone middle so twigs never extend the diameter.
+		v := rng.Intn(g.N())
+		lv := level[v]
+		if lv >= spec.Delta {
+			failures++
+			continue
+		}
+		// Distance sanity: a twig at depth lv+1 hanging from backbone
+		// position p must satisfy dist-to-ends + depth <= Diam.
+		u := g.AddVertex(lab())
+		g.MustAddEdge(graph.V(v), u)
+		level = append(level, lv+1)
+		// Verify the injected pattern still has the intended diameter;
+		// back out if the twig stretched it.
+		if g.Diameter() != int32(spec.Diam) {
+			g.RemoveEdge(graph.V(v), u)
+			// Vertex u stays as orphan; rebuild without it.
+			vs := make([]graph.V, g.N()-1)
+			for i := range vs {
+				vs[i] = graph.V(i)
+			}
+			g2, _ := g.InducedSubgraph(vs)
+			g = g2
+			level = level[:len(level)-1]
+			failures++
+		} else {
+			failures = 0
+		}
+	}
+	return g
+}
+
+// Inject appends copies of pattern into g as fresh vertex-disjoint
+// subgraphs; each injected vertex is additionally wired to a random
+// pre-existing background vertex with probability attachProb (the paper
+// notes such interconnections create slightly larger variants, e.g. the
+// size-41 patterns of GID 2). Returns the base vertex of each copy.
+func Inject(rng *rand.Rand, g *graph.Graph, pattern *graph.Graph, copies int, attachProb float64) []graph.V {
+	bases := make([]graph.V, 0, copies)
+	background := g.N()
+	for c := 0; c < copies; c++ {
+		base := g.N()
+		bases = append(bases, graph.V(base))
+		for v := 0; v < pattern.N(); v++ {
+			g.AddVertex(pattern.Label(graph.V(v)))
+		}
+		for _, e := range pattern.Edges() {
+			g.MustAddEdge(graph.V(base)+e.U, graph.V(base)+e.W)
+		}
+		if attachProb > 0 && background > 0 {
+			for v := 0; v < pattern.N(); v++ {
+				if rng.Float64() < attachProb {
+					t := graph.V(rng.Intn(background))
+					src := graph.V(base + v)
+					if !g.HasEdge(src, t) {
+						g.MustAddEdge(src, t)
+					}
+				}
+			}
+		}
+	}
+	return bases
+}
+
+// GIDSetting mirrors one row of Table 1. M is the number of distinct
+// injected long patterns (5 for every GID, per the paper).
+type GIDSetting struct {
+	GID int
+	V   int // background+injected vertex budget
+	F   int // label count
+	Deg int // average degree
+	M   int // distinct long patterns
+	VL  int // vertices per long pattern
+	Ld  int // long pattern diameter
+	Ls  int // embeddings per long pattern
+	N   int // distinct short patterns
+	VS  int // vertices per short pattern
+	Sd  int // short pattern diameter
+	Ss  int // embeddings per short pattern
+}
+
+// GIDSettings is Table 1 of the paper.
+var GIDSettings = []GIDSetting{
+	{GID: 1, V: 500, F: 80, Deg: 2, M: 5, VL: 40, Ld: 18, Ls: 2, N: 5, VS: 4, Sd: 2, Ss: 2},
+	{GID: 2, V: 500, F: 80, Deg: 4, M: 5, VL: 40, Ld: 18, Ls: 2, N: 5, VS: 4, Sd: 2, Ss: 2},
+	{GID: 3, V: 1000, F: 240, Deg: 2, M: 5, VL: 40, Ld: 18, Ls: 2, N: 5, VS: 4, Sd: 2, Ss: 20},
+	{GID: 4, V: 1000, F: 240, Deg: 4, M: 5, VL: 40, Ld: 18, Ls: 2, N: 5, VS: 4, Sd: 2, Ss: 20},
+	{GID: 5, V: 600, F: 150, Deg: 4, M: 5, VL: 40, Ld: 18, Ls: 2, N: 20, VS: 4, Sd: 2, Ss: 2},
+}
+
+// Injected describes one planted pattern and where its copies start.
+type Injected struct {
+	Pattern *graph.Graph
+	Bases   []graph.V
+}
+
+// BuildGID materializes one Table-1 data set: an ER background plus the
+// specified long and short pattern injections. Injected pattern labels
+// use the upper end of the label space so they stand out from the
+// background the way the paper's planted patterns do.
+func BuildGID(rng *rand.Rand, s GIDSetting) (*graph.Graph, []Injected) {
+	injectedVertices := s.M*s.VL*s.Ls + s.N*s.VS*s.Ss
+	background := s.V - injectedVertices
+	if background < 0 {
+		background = s.V / 4
+	}
+	g := ER(rng, background, float64(s.Deg), s.F)
+	var all []Injected
+	for i := 0; i < s.M; i++ {
+		p := RandomSkinnyPattern(rng, SkinnySpec{
+			V: s.VL, Diam: s.Ld, Delta: 2,
+			LabelBase: s.F * 3 / 4, LabelRange: s.F / 4,
+		})
+		bases := Inject(rng, g, p, s.Ls, 0.05)
+		all = append(all, Injected{Pattern: p, Bases: bases})
+	}
+	for i := 0; i < s.N; i++ {
+		p := RandomSkinnyPattern(rng, SkinnySpec{
+			V: s.VS, Diam: s.Sd, Delta: 1,
+			LabelBase: s.F / 2, LabelRange: s.F / 4,
+		})
+		bases := Inject(rng, g, p, s.Ss, 0.05)
+		all = append(all, Injected{Pattern: p, Bases: bases})
+	}
+	return g, all
+}
+
+// Table3Pattern mirrors one row of Table 3: PID, |V| and diameter.
+type Table3Pattern struct {
+	PID  int
+	V    int
+	Diam int
+}
+
+// Table3Patterns is Table 3 of the paper: ten patterns of decreasing
+// skinniness (PID 1 the skinniest of the first five, PID 6 of the rest).
+var Table3Patterns = []Table3Pattern{
+	{1, 60, 50}, {2, 60, 45}, {3, 60, 40}, {4, 60, 35}, {5, 60, 30},
+	{6, 20, 8}, {7, 30, 8}, {8, 40, 8}, {9, 50, 8}, {10, 60, 8},
+}
+
+// BuildTable3 builds the skinniness-ladder graph: 2000 background
+// vertices, deg 3, f=100, ten injected patterns each with support 2.
+func BuildTable3(rng *rand.Rand, scale float64) (*graph.Graph, []Injected) {
+	n := int(2000 * scale)
+	if n < 200 {
+		n = 200
+	}
+	g := ER(rng, n, 3, 100)
+	var all []Injected
+	for _, tp := range Table3Patterns {
+		delta := 3
+		if tp.Diam >= 30 {
+			delta = 1
+		}
+		p := RandomSkinnyPattern(rng, SkinnySpec{
+			V: tp.V, Diam: tp.Diam, Delta: delta,
+			LabelBase: 60 + tp.PID*3, LabelRange: 3,
+		})
+		bases := Inject(rng, g, p, 2, 0)
+		all = append(all, Injected{Pattern: p, Bases: bases})
+	}
+	return g, all
+}
+
+// BuildTransactionDB builds the Figure 9/10 database: numGraphs ER
+// graphs, with skinny (and optionally small) patterns injected so that
+// each pattern appears in `sup` randomly chosen graphs.
+func BuildTransactionDB(rng *rand.Rand, numGraphs, v int, deg float64, f int,
+	skinny []SkinnySpec, skinnySup int, small []SkinnySpec, smallSup int) ([]*graph.Graph, []*graph.Graph) {
+	db := make([]*graph.Graph, numGraphs)
+	for i := range db {
+		db[i] = ER(rng, v, deg, f)
+	}
+	var planted []*graph.Graph
+	plant := func(spec SkinnySpec, sup int) {
+		p := RandomSkinnyPattern(rng, spec)
+		planted = append(planted, p)
+		// Distinct graphs per copy (when possible) so graph-count
+		// support equals the requested embedding count.
+		order := rng.Perm(numGraphs)
+		for c := 0; c < sup; c++ {
+			gi := order[c%numGraphs]
+			Inject(rng, db[gi], p, 1, 0.05)
+		}
+	}
+	for _, spec := range skinny {
+		plant(spec, skinnySup)
+	}
+	for _, spec := range small {
+		plant(spec, smallSup)
+	}
+	return db, planted
+}

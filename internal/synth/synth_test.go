@@ -1,0 +1,239 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"skinnymine/internal/graph"
+)
+
+func TestERBasicShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := ER(rng, 1000, 3, 50)
+	if g.N() != 1000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	wantM := 1500
+	if g.M() != wantM {
+		t.Errorf("M = %d, want %d", g.M(), wantM)
+	}
+	seen := make(map[graph.Label]struct{})
+	for _, l := range g.Labels() {
+		if l < 0 || l >= 50 {
+			t.Fatalf("label %d out of range", l)
+		}
+		seen[l] = struct{}{}
+	}
+	if len(seen) < 40 {
+		t.Errorf("only %d distinct labels", len(seen))
+	}
+}
+
+func TestERTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := ER(rng, 1, 3, 5)
+	if g.N() != 1 || g.M() != 0 {
+		t.Error("single-vertex ER wrong")
+	}
+}
+
+func TestRandomSkinnyPatternShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		spec := SkinnySpec{V: 20 + rng.Intn(20), Diam: 8 + rng.Intn(8), Delta: 2, LabelBase: 10, LabelRange: 5}
+		p := RandomSkinnyPattern(rng, spec)
+		if p.Diameter() != int32(spec.Diam) {
+			t.Fatalf("trial %d: diameter %d, want %d", trial, p.Diameter(), spec.Diam)
+		}
+		if !p.Connected() {
+			t.Fatal("pattern must be connected")
+		}
+		if p.N() > spec.V {
+			t.Fatalf("pattern has %d vertices, budget %d", p.N(), spec.V)
+		}
+		// δ-skinny w.r.t. its backbone (vertices 0..Diam).
+		backbone := make(graph.Path, spec.Diam+1)
+		for i := range backbone {
+			backbone[i] = graph.V(i)
+		}
+		for _, d := range p.VertexLevels(backbone) {
+			if d > int32(spec.Delta) {
+				t.Fatalf("trial %d: vertex at level %d > δ=%d", trial, d, spec.Delta)
+			}
+		}
+	}
+}
+
+func TestRandomSkinnyPatternPanicsOnBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for V < Diam+1")
+		}
+	}()
+	RandomSkinnyPattern(rand.New(rand.NewSource(1)), SkinnySpec{V: 3, Diam: 5})
+}
+
+func TestInjectDisjointCopies(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := ER(rng, 100, 2, 10)
+	p := RandomSkinnyPattern(rng, SkinnySpec{V: 8, Diam: 4, Delta: 1, LabelBase: 50, LabelRange: 3})
+	before := g.N()
+	bases := Inject(rng, g, p, 3, 0)
+	if len(bases) != 3 {
+		t.Fatalf("bases = %v", bases)
+	}
+	if g.N() != before+3*p.N() {
+		t.Errorf("vertex count %d, want %d", g.N(), before+3*p.N())
+	}
+	// Each copy is an exact induced copy (attachProb 0).
+	for _, b := range bases {
+		vs := make([]graph.V, p.N())
+		for i := range vs {
+			vs[i] = b + graph.V(i)
+		}
+		sub, _ := g.InducedSubgraph(vs)
+		if !graph.Isomorphic(sub, p) {
+			t.Error("injected copy not isomorphic to pattern")
+		}
+	}
+}
+
+func TestInjectWithAttachment(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := ER(rng, 100, 2, 10)
+	p := RandomSkinnyPattern(rng, SkinnySpec{V: 6, Diam: 3, Delta: 1, LabelBase: 50, LabelRange: 2})
+	mBefore := g.M()
+	Inject(rng, g, p, 2, 1.0) // attach every vertex
+	extra := g.M() - mBefore - 2*p.M()
+	if extra <= 0 {
+		t.Error("attachProb=1 should add interconnection edges")
+	}
+}
+
+func TestBuildGIDSettings(t *testing.T) {
+	if len(GIDSettings) != 5 {
+		t.Fatal("Table 1 has five rows")
+	}
+	rng := rand.New(rand.NewSource(6))
+	for _, s := range GIDSettings[:2] { // keep the test fast
+		g, inj := BuildGID(rng, s)
+		if g.N() < s.V/2 {
+			t.Errorf("GID %d: graph too small (%d)", s.GID, g.N())
+		}
+		if len(inj) != s.M+s.N {
+			t.Errorf("GID %d: %d injections, want %d", s.GID, len(inj), s.M+s.N)
+		}
+		for _, in := range inj[:s.M] {
+			if in.Pattern.Diameter() != int32(s.Ld) {
+				t.Errorf("GID %d: long pattern diameter %d, want %d", s.GID, in.Pattern.Diameter(), s.Ld)
+			}
+			if len(in.Bases) != s.Ls {
+				t.Errorf("GID %d: %d copies, want %d", s.GID, len(in.Bases), s.Ls)
+			}
+		}
+	}
+}
+
+func TestBuildTable3(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, inj := BuildTable3(rng, 0.2)
+	if len(inj) != 10 {
+		t.Fatalf("got %d injections, want 10", len(inj))
+	}
+	for i, in := range inj {
+		want := Table3Patterns[i]
+		if in.Pattern.Diameter() != int32(want.Diam) {
+			t.Errorf("PID %d: diameter %d, want %d", want.PID, in.Pattern.Diameter(), want.Diam)
+		}
+		if len(in.Bases) != 2 {
+			t.Errorf("PID %d: support %d, want 2", want.PID, len(in.Bases))
+		}
+	}
+	if g.N() < 200 {
+		t.Error("graph too small")
+	}
+}
+
+func TestBuildTransactionDB(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	skinny := []SkinnySpec{{V: 10, Diam: 6, Delta: 1, LabelBase: 40, LabelRange: 3}}
+	small := []SkinnySpec{{V: 4, Diam: 2, Delta: 1, LabelBase: 30, LabelRange: 2}}
+	db, planted := BuildTransactionDB(rng, 10, 80, 2, 20, skinny, 5, small, 5)
+	if len(db) != 10 {
+		t.Fatalf("db size %d", len(db))
+	}
+	if len(planted) != 2 {
+		t.Fatalf("planted %d, want 2", len(planted))
+	}
+	// The skinny pattern must embed in at least one transaction.
+	hits := 0
+	for _, g := range db {
+		if graph.HasEmbedding(planted[0], g) {
+			hits++
+		}
+	}
+	if hits < 1 {
+		t.Error("planted pattern not found in any transaction")
+	}
+}
+
+func TestDBLPSchema(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	db := DBLP(rng, DBLPOptions{Authors: 12, Years: 21, Archetypes: 3})
+	if len(db) != 12 {
+		t.Fatalf("authors = %d", len(db))
+	}
+	for ai, g := range db {
+		// Backbone: year vertices 0..20 forming a chain.
+		for y := 0; y < 20; y++ {
+			if g.Label(graph.V(y)) != DBLPYearLabel {
+				t.Fatalf("author %d: vertex %d not a year node", ai, y)
+			}
+			if !g.HasEdge(graph.V(y), graph.V(y+1)) {
+				t.Fatalf("author %d: timeline broken at %d", ai, y)
+			}
+		}
+		// Collab nodes are leaves labeled in range.
+		for v := 21; v < g.N(); v++ {
+			l := g.Label(graph.V(v))
+			if l < 1 || l > 12 {
+				t.Fatalf("author %d: collab label %d out of range", ai, l)
+			}
+			if g.Degree(graph.V(v)) != 1 {
+				t.Fatalf("author %d: collab node with degree %d", ai, g.Degree(graph.V(v)))
+			}
+		}
+	}
+	if DBLPLabelName(DBLPYearLabel) != "Year" {
+		t.Error("year label name")
+	}
+	if DBLPLabelName(DBLPCollabLabel(1, 2)) != "S2" {
+		t.Errorf("S2 label name = %q", DBLPLabelName(DBLPCollabLabel(1, 2)))
+	}
+}
+
+func TestWeiboSchema(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	db := Weibo(rng, WeiboOptions{Conversations: 8, AvgSize: 15, ChainConversations: 3, ChainLength: 13})
+	if len(db) != 8 {
+		t.Fatalf("conversations = %d", len(db))
+	}
+	for ci, g := range db {
+		if g.Label(0) != WeiboRoot {
+			t.Fatalf("conversation %d: vertex 0 not root", ci)
+		}
+		if !g.Connected() {
+			t.Fatalf("conversation %d: disconnected", ci)
+		}
+	}
+	// Chain conversations must contain a long path (diameter >= 13).
+	for ci := 0; ci < 3; ci++ {
+		ecc := db[ci].Eccentricity(0)
+		if ecc < 12 {
+			t.Errorf("conversation %d: root eccentricity %d, want >= 12", ci, ecc)
+		}
+	}
+	if WeiboLabelName(WeiboRoot) != "Root" || WeiboLabelName(WeiboOther) != "Other" {
+		t.Error("label names")
+	}
+}

@@ -1,0 +1,118 @@
+package synth
+
+import (
+	"math/rand"
+
+	"skinnymine/internal/graph"
+)
+
+// Sina Weibo-like retweet conversations (Section 6.3). The real dataset
+// (1.8M users, 230M tweets) is not public; we simulate conversation
+// graphs with the same schema: the author of the original tweet is the
+// root, every retweet/comment adds an edge between the acting user and
+// the target user, and users carry one of four labels. Planted long
+// diffusion chains with periodic root re-engagement reproduce the
+// 13-long 3-skinny interaction pattern of Figure 24.
+
+// Weibo labels.
+const (
+	WeiboRoot     = graph.Label(0) // author of the original tweet
+	WeiboFollower = graph.Label(1) // follows the root
+	WeiboFollowee = graph.Label(2) // followed by the root
+	WeiboOther    = graph.Label(3)
+)
+
+// WeiboLabelName renders a Weibo label.
+func WeiboLabelName(l graph.Label) string {
+	switch l {
+	case WeiboRoot:
+		return "Root"
+	case WeiboFollower:
+		return "Follower"
+	case WeiboFollowee:
+		return "Followee"
+	default:
+		return "Other"
+	}
+}
+
+// WeiboOptions sizes the simulated conversation corpus.
+type WeiboOptions struct {
+	Conversations int
+	// AvgSize is the expected number of users per conversation.
+	AvgSize int
+	// ChainConversations is how many conversations carry the planted
+	// long diffusion chain (root re-engaging along a 13-hop path).
+	ChainConversations int
+	// ChainLength is the diffusion chain length (13 in Figure 24).
+	ChainLength int
+}
+
+// Weibo builds the simulated conversation database.
+func Weibo(rng *rand.Rand, opt WeiboOptions) []*graph.Graph {
+	if opt.AvgSize < 4 {
+		opt.AvgSize = 20
+	}
+	if opt.ChainLength < 3 {
+		opt.ChainLength = 13
+	}
+	db := make([]*graph.Graph, 0, opt.Conversations)
+	for c := 0; c < opt.Conversations; c++ {
+		g := weiboConversation(rng, opt.AvgSize)
+		if c < opt.ChainConversations {
+			plantDiffusionChain(rng, g, opt.ChainLength)
+		}
+		db = append(db, g)
+	}
+	return db
+}
+
+// weiboConversation grows a retweet tree by preferential attachment:
+// each new user retweets a random earlier participant (shallower users
+// are more likely targets, giving wide-but-shallow trees).
+func weiboConversation(rng *rand.Rand, avgSize int) *graph.Graph {
+	size := 2 + rng.Intn(2*avgSize-2)
+	g := graph.New(size)
+	g.AddVertex(WeiboRoot)
+	for i := 1; i < size; i++ {
+		l := WeiboOther
+		switch r := rng.Float64(); {
+		case r < 0.4:
+			l = WeiboFollower
+		case r < 0.5:
+			l = WeiboFollowee
+		}
+		v := g.AddVertex(l)
+		// Preferential toward earlier (shallower) vertices.
+		t := graph.V(rng.Intn(int(v)*3/4 + 1))
+		g.MustAddEdge(t, v)
+	}
+	return g
+}
+
+// plantDiffusionChain appends Figure 24's pattern: a chain of followers
+// passing the tweet on, with the root user re-engaging (a fresh root-
+// labeled node joining the chain) every four hops, each engagement
+// promoting the tweet to a wider audience (extra follower twigs).
+func plantDiffusionChain(rng *rand.Rand, g *graph.Graph, length int) {
+	prev := graph.V(0) // start at the conversation root
+	for i := 1; i <= length; i++ {
+		var l graph.Label
+		switch {
+		case i%4 == 0:
+			l = WeiboRoot // root re-engages in the dialogue
+		default:
+			l = WeiboFollower
+		}
+		v := g.AddVertex(l)
+		g.MustAddEdge(prev, v)
+		if l == WeiboRoot {
+			// Re-engagement promotes the tweet: new audience twigs.
+			for t := 0; t < 2; t++ {
+				w := g.AddVertex(WeiboFollower)
+				g.MustAddEdge(v, w)
+			}
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,323 @@
+// Package skinnymine is a Go implementation of SkinnyMine, the direct
+// mining algorithm for constrained graph pattern discovery of
+//
+//	Feida Zhu, Zequn Zhang, Qiang Qu.
+//	"A Direct Mining Approach To Efficient Constrained Graph Pattern
+//	Discovery." SIGMOD 2013.
+//
+// Given a vertex-labeled graph (or a database of graphs), a frequency
+// threshold σ, a diameter length l and a skinniness bound δ, SkinnyMine
+// finds the frequent l-long δ-skinny subgraph patterns: patterns whose
+// canonical diameter — the lexicographically smallest path realizing
+// the diameter — has length l, with every vertex within distance δ of
+// it. Mining is direct: stage I pre-computes the minimal
+// constraint-satisfying patterns (frequent l-paths, mined by doubling
+// and merging), stage II grows them while preserving the canonical
+// diameter through three locally-checked constraints.
+//
+// # Quick start
+//
+//	g := skinnymine.NewGraph()
+//	a := g.AddVertex("station")
+//	b := g.AddVertex("cafe")
+//	_ = g.AddEdge(a, b)
+//	// ... build the rest of the graph ...
+//	res, err := skinnymine.Mine(g, skinnymine.Options{
+//		Support: 2, Length: 6, Delta: 2,
+//	})
+//
+// The package also ships an indexable form for the paper's direct
+// mining deployment — pre-compute once, serve many (l, δ) requests:
+//
+//	ix, _ := skinnymine.BuildIndex([]*skinnymine.Graph{g}, 2)
+//	res1, _ := ix.Mine(skinnymine.Options{Support: 2, Length: 10, Delta: 2})
+//	res2, _ := ix.Mine(skinnymine.Options{Support: 2, Length: 12, Delta: 3})
+//
+// Baseline miners from the paper's evaluation (gSpan, MoSS, SpiderMine,
+// SUBDUE, SEuS, ORIGAMI), synthetic workload generators and the full
+// experiment harness live under internal/ and are exercised by
+// cmd/experiments and the benchmarks in bench_test.go.
+package skinnymine
+
+import (
+	"fmt"
+	"io"
+
+	"skinnymine/internal/core"
+	"skinnymine/internal/graph"
+	"skinnymine/internal/support"
+)
+
+// Graph is a vertex-labeled undirected simple graph with string labels.
+type Graph struct {
+	g  *graph.Graph
+	lt *graph.LabelTable
+}
+
+// VertexID identifies a vertex within a Graph.
+type VertexID = graph.V
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{g: graph.New(16), lt: graph.NewLabelTable()}
+}
+
+// AddVertex appends a vertex with the given label and returns its ID.
+// Labels compare lexicographically by first-intern order; intern labels
+// in sorted order if the paper's exact lexicographic tie-breaks matter.
+func (g *Graph) AddVertex(label string) VertexID {
+	return g.g.AddVertex(g.lt.Intern(label))
+}
+
+// AddEdge inserts an undirected edge; self-loops, duplicates and
+// out-of-range endpoints are rejected.
+func (g *Graph) AddEdge(u, w VertexID) error { return g.g.AddEdge(u, w) }
+
+// N returns the number of vertices; M the number of edges.
+func (g *Graph) N() int { return g.g.N() }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.g.M() }
+
+// Label returns the label of vertex v.
+func (g *Graph) Label(v VertexID) string { return g.lt.Name(g.g.Label(v)) }
+
+// Write serializes the graph in the repository's text format.
+func (g *Graph) Write(w io.Writer) error { return graph.WriteText(w, g.g) }
+
+// SupportMeasure selects how pattern frequency is counted.
+type SupportMeasure int
+
+const (
+	// EmbeddingCount counts distinct embedding subgraphs, the paper's
+	// |E[P]| for the single-graph setting (the default).
+	EmbeddingCount SupportMeasure = iota
+	// GraphCount counts database graphs containing the pattern
+	// (the graph-transaction setting).
+	GraphCount
+)
+
+// Options configures a mining request.
+type Options struct {
+	// Support is the frequency threshold σ (>= 1).
+	Support int
+	// Length is the canonical diameter length l (>= 1). If MinLength is
+	// set, the band [MinLength, Length] is mined.
+	Length    int
+	MinLength int
+	// Delta is the skinniness bound δ; negative means unbounded.
+	Delta int
+	// Measure selects support counting.
+	Measure SupportMeasure
+	// MaximalOnly grows each canonical diameter greedily to one maximal
+	// pattern instead of enumerating every valid sub-pattern. Use it for
+	// pattern discovery on large data; leave it off for the complete
+	// result set of Definition 8.
+	MaximalOnly bool
+	// ClosedOnly keeps only closed patterns (Algorithm 3, line 12).
+	ClosedOnly bool
+	// MaxPatterns caps the result size (0 = unlimited).
+	MaxPatterns int
+	// Workers grows different canonical diameters in parallel
+	// (0 or 1 = sequential). Output is deterministic either way.
+	Workers int
+}
+
+func (o Options) toCore() core.Options {
+	opt := core.DefaultOptions(o.Support, o.Length, o.Delta)
+	opt.MinLength = o.MinLength
+	opt.GreedyGrow = o.MaximalOnly
+	opt.ClosedOnly = o.ClosedOnly
+	opt.MaxPatterns = o.MaxPatterns
+	opt.Workers = o.Workers
+	if o.Measure == GraphCount {
+		opt.Measure = support.GraphCount
+	}
+	return opt
+}
+
+// Pattern is one mined l-long δ-skinny pattern.
+type Pattern struct {
+	p  *core.Pattern
+	lt *graph.LabelTable
+}
+
+// Vertices returns the number of pattern vertices.
+func (p *Pattern) Vertices() int { return p.p.G.N() }
+
+// Edges returns the number of pattern edges.
+func (p *Pattern) Edges() int { return p.p.G.M() }
+
+// Support returns the pattern's frequency.
+func (p *Pattern) Support() int { return p.p.Support() }
+
+// DiameterLength returns l, the canonical diameter length.
+func (p *Pattern) DiameterLength() int { return int(p.p.DiamLen) }
+
+// Skinniness returns the largest vertex level (<= δ).
+func (p *Pattern) Skinniness() int { return int(p.p.MaxLevel()) }
+
+// Backbone returns the canonical diameter's label sequence.
+func (p *Pattern) Backbone() []string {
+	seq := p.p.DiamSeq()
+	out := make([]string, len(seq))
+	for i, l := range seq {
+		out[i] = p.lt.Name(l)
+	}
+	return out
+}
+
+// VertexLabel returns the label of pattern vertex v; vertices 0..l are
+// the canonical diameter in order.
+func (p *Pattern) VertexLabel(v VertexID) string { return p.lt.Name(p.p.G.Label(v)) }
+
+// EdgeList returns the pattern's edges.
+func (p *Pattern) EdgeList() [][2]VertexID {
+	es := p.p.G.Edges()
+	out := make([][2]VertexID, len(es))
+	for i, e := range es {
+		out[i] = [2]VertexID{e.U, e.W}
+	}
+	return out
+}
+
+// String renders a compact summary.
+func (p *Pattern) String() string {
+	return fmt.Sprintf("pattern |V|=%d |E|=%d l=%d δ=%d sup=%d",
+		p.Vertices(), p.Edges(), p.DiameterLength(), p.Skinniness(), p.Support())
+}
+
+// Result is a mining run's output.
+type Result struct {
+	Patterns []*Pattern
+	// Stats carries stage timings and search counters.
+	Stats core.Stats
+}
+
+// Mine runs SkinnyMine on a single graph.
+func Mine(g *Graph, opt Options) (*Result, error) {
+	return MineDB([]*Graph{g}, opt)
+}
+
+// MineDB runs SkinnyMine on a graph database. All graphs must share a
+// label table (build them via NewGraph and a common vocabulary, or use
+// Corpus).
+func MineDB(graphs []*Graph, opt Options) (*Result, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("skinnymine: no input graphs")
+	}
+	lt := graphs[0].lt
+	raw := make([]*graph.Graph, len(graphs))
+	for i, g := range graphs {
+		if g.lt != lt {
+			return nil, fmt.Errorf("skinnymine: graph %d uses a different label table; build the database with Corpus", i)
+		}
+		raw[i] = g.g
+	}
+	res, err := core.MineDB(raw, opt.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res, lt), nil
+}
+
+func wrapResult(res *core.Result, lt *graph.LabelTable) *Result {
+	out := &Result{Stats: res.Stats}
+	for _, p := range res.Patterns {
+		out.Patterns = append(out.Patterns, &Pattern{p: p, lt: lt})
+	}
+	return out
+}
+
+// Corpus builds graphs that share one label vocabulary, as a graph
+// database must.
+type Corpus struct {
+	lt *graph.LabelTable
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus { return &Corpus{lt: graph.NewLabelTable()} }
+
+// NewGraph returns an empty graph bound to the corpus vocabulary.
+func (c *Corpus) NewGraph() *Graph {
+	return &Graph{g: graph.New(16), lt: c.lt}
+}
+
+// Index is the pre-computed minimal-pattern index of the direct mining
+// framework (Figure 2): build once, serve many (l, δ) requests.
+type Index struct {
+	ix *core.DirectIndex
+	lt *graph.LabelTable
+}
+
+// BuildIndex pre-computes the index over the graphs at threshold σ.
+func BuildIndex(graphs []*Graph, sigma int) (*Index, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("skinnymine: no input graphs")
+	}
+	lt := graphs[0].lt
+	raw := make([]*graph.Graph, len(graphs))
+	for i, g := range graphs {
+		if g.lt != lt {
+			return nil, fmt.Errorf("skinnymine: graph %d uses a different label table", i)
+		}
+		raw[i] = g.g
+	}
+	ix, err := core.BuildIndex(raw, sigma)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix, lt: lt}, nil
+}
+
+// Mine serves one request from the index. Options.Support must equal
+// the σ the index was built with.
+func (ix *Index) Mine(opt Options) (*Result, error) {
+	res, err := ix.ix.Mine(opt.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res, ix.lt), nil
+}
+
+// MinimalBackbones returns the label sequences of the frequent paths of
+// length l — the minimal constraint-satisfying patterns Stage I mines,
+// each the canonical diameter of every pattern grown from it.
+func (ix *Index) MinimalBackbones(l int) ([][]string, error) {
+	paths, err := ix.ix.MinimalPatterns(l)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, len(paths))
+	for i, p := range paths {
+		seq := make([]string, len(p.Seq))
+		for j, lab := range p.Seq {
+			seq[j] = ix.lt.Name(lab)
+		}
+		out[i] = seq
+	}
+	return out, nil
+}
+
+// ReadGraphs parses a graph database from the text format (see
+// internal/graph: "t # i" / "v id label" / "e u w" records, integer
+// labels).
+func ReadGraphs(r io.Reader) ([]*Graph, error) {
+	raw, err := graph.ReadText(r)
+	if err != nil {
+		return nil, err
+	}
+	c := NewCorpus()
+	out := make([]*Graph, len(raw))
+	for i, g := range raw {
+		wrapped := c.NewGraph()
+		for v := 0; v < g.N(); v++ {
+			wrapped.AddVertex(fmt.Sprintf("%d", g.Label(graph.V(v))))
+		}
+		for _, e := range g.Edges() {
+			wrapped.g.MustAddEdge(e.U, e.W)
+		}
+		out[i] = wrapped
+	}
+	return out, nil
+}

@@ -1,0 +1,234 @@
+package skinnymine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildTrajectoryGraph wires a small city graph with two copies of a
+// popular route (station -> cafe -> park -> museum -> cafe2) plus noise.
+func buildTrajectoryGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	route := []string{"station", "cafe", "park", "museum", "plaza"}
+	for c := 0; c < 2; c++ {
+		var prev VertexID
+		for i, l := range route {
+			v := g.AddVertex(l)
+			if i > 0 {
+				if err := g.AddEdge(prev, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			prev = v
+		}
+		tw := g.AddVertex("shop")
+		if err := g.AddEdge(prev-2, tw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Noise vertices.
+	n1 := g.AddVertex("noise1")
+	n2 := g.AddVertex("noise2")
+	if err := g.AddEdge(n1, n2); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMineQuickstartShape(t *testing.T) {
+	g := buildTrajectoryGraph(t)
+	res, err := Mine(g, Options{Support: 2, Length: 4, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns found")
+	}
+	foundRoute := false
+	for _, p := range res.Patterns {
+		if p.DiameterLength() != 4 {
+			t.Errorf("pattern diameter %d, want 4", p.DiameterLength())
+		}
+		if p.Skinniness() > 1 {
+			t.Errorf("pattern skinniness %d > δ", p.Skinniness())
+		}
+		if p.Support() < 2 {
+			t.Errorf("pattern support %d < σ", p.Support())
+		}
+		bb := p.Backbone()
+		if len(bb) == 5 && bb[0] == "station" || bb[len(bb)-1] == "station" {
+			foundRoute = true
+		}
+	}
+	if !foundRoute {
+		t.Error("the injected route backbone was not recovered")
+	}
+}
+
+func TestPatternAccessors(t *testing.T) {
+	g := buildTrajectoryGraph(t)
+	res, err := Mine(g, Options{Support: 2, Length: 4, Delta: 1, MaximalOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns")
+	}
+	var best *Pattern
+	for _, p := range res.Patterns {
+		if best == nil || p.Vertices() > best.Vertices() {
+			best = p
+		}
+	}
+	if best.Vertices() != 6 || best.Edges() != 5 {
+		t.Errorf("maximal pattern %d/%d, want 6 vertices 5 edges", best.Vertices(), best.Edges())
+	}
+	if got := best.String(); !strings.Contains(got, "sup=2") {
+		t.Errorf("String() = %q", got)
+	}
+	if len(best.EdgeList()) != best.Edges() {
+		t.Error("EdgeList length mismatch")
+	}
+	if best.VertexLabel(0) != best.Backbone()[0] {
+		t.Error("VertexLabel(0) should be the backbone head")
+	}
+}
+
+func TestMineDBTransaction(t *testing.T) {
+	c := NewCorpus()
+	var db []*Graph
+	for i := 0; i < 3; i++ {
+		g := c.NewGraph()
+		a := g.AddVertex("a")
+		b := g.AddVertex("b")
+		cc := g.AddVertex("c")
+		if err := g.AddEdge(a, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddEdge(b, cc); err != nil {
+			t.Fatal(err)
+		}
+		db = append(db, g)
+	}
+	res, err := MineDB(db, Options{Support: 3, Length: 2, Delta: 0, Measure: GraphCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 1 {
+		t.Fatalf("got %d patterns, want 1", len(res.Patterns))
+	}
+}
+
+func TestMineDBRejectsMixedVocabularies(t *testing.T) {
+	g1 := NewGraph()
+	g1.AddVertex("a")
+	g2 := NewGraph()
+	g2.AddVertex("a")
+	if _, err := MineDB([]*Graph{g1, g2}, Options{Support: 1, Length: 1}); err == nil {
+		t.Error("mixed label tables should error")
+	}
+}
+
+func TestIndexServesMultipleRequests(t *testing.T) {
+	g := buildTrajectoryGraph(t)
+	ix, err := BuildIndex([]*Graph{g}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 2; l <= 4; l++ {
+		res, err := ix.Mine(Options{Support: 2, Length: l, Delta: 1})
+		if err != nil {
+			t.Fatalf("l=%d: %v", l, err)
+		}
+		for _, p := range res.Patterns {
+			if p.DiameterLength() != l {
+				t.Errorf("l=%d: pattern diameter %d", l, p.DiameterLength())
+			}
+		}
+	}
+}
+
+func TestGraphBasicsAndSerialization(t *testing.T) {
+	g := NewGraph()
+	a := g.AddVertex("x")
+	b := g.AddVertex("y")
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(a, b); err == nil {
+		t.Error("duplicate edge should error")
+	}
+	if g.N() != 2 || g.M() != 1 {
+		t.Error("counts wrong")
+	}
+	if g.Label(a) != "x" {
+		t.Error("label wrong")
+	}
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadGraphs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 1 || parsed[0].N() != 2 || parsed[0].M() != 1 {
+		t.Error("roundtrip failed")
+	}
+}
+
+func TestMineErrors(t *testing.T) {
+	if _, err := Mine(NewGraph(), Options{Support: 0, Length: 1}); err == nil {
+		t.Error("bad support should error")
+	}
+	if _, err := MineDB(nil, Options{Support: 1, Length: 1}); err == nil {
+		t.Error("empty DB should error")
+	}
+	if _, err := BuildIndex(nil, 1); err == nil {
+		t.Error("empty index should error")
+	}
+}
+
+func TestMinimalBackbones(t *testing.T) {
+	g := buildTrajectoryGraph(t)
+	ix, err := BuildIndex([]*Graph{g}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbs, err := ix.MinimalBackbones(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bbs) == 0 {
+		t.Fatal("no minimal backbones")
+	}
+	found := false
+	for _, bb := range bbs {
+		if len(bb) != 5 {
+			t.Fatalf("backbone %v should have 5 labels", bb)
+		}
+		if bb[0] == "station" || bb[4] == "station" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("route backbone missing from minimal patterns")
+	}
+}
+
+func TestParallelWorkersPublicAPI(t *testing.T) {
+	g := buildTrajectoryGraph(t)
+	seq, err := Mine(g, Options{Support: 2, Length: 4, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Mine(g, Options{Support: 2, Length: 4, Delta: 1, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Patterns) != len(par.Patterns) {
+		t.Fatalf("sequential %d vs parallel %d patterns", len(seq.Patterns), len(par.Patterns))
+	}
+}
