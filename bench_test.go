@@ -10,10 +10,53 @@ package skinnymine_test
 import (
 	"testing"
 
+	"skinnymine/internal/core"
 	"skinnymine/internal/exp"
+	"skinnymine/internal/graph"
+	"skinnymine/internal/testutil"
 )
 
 func benchCfg() exp.Config { return exp.Config{Seed: 1, Scale: 0.05} }
+
+// concurrencyWorkload is the parallel-scaling workload (the same
+// recipe the cross-concurrency determinism tests pin; see
+// testutil.SynthWorkload), mined in greedy mode so Stage II does one
+// bounded growth per seed across ~1k seeds. Built once and shared;
+// mining does not mutate the data graph.
+var concurrencyWorkload *graph.Graph
+
+func benchWorkloadGraph() *graph.Graph {
+	if concurrencyWorkload == nil {
+		concurrencyWorkload = testutil.SynthWorkload(17, 300)
+	}
+	return concurrencyWorkload
+}
+
+// benchMineConcurrency mines the shared workload end to end (both
+// stages) at a fixed worker count. Compare ns/op across the
+// BenchmarkMineConcurrency* variants for the scaling curve; output is
+// byte-identical at every setting, so they all do the same work.
+func benchMineConcurrency(b *testing.B, workers int) {
+	g := benchWorkloadGraph()
+	opt := core.DefaultOptions(2, 4, 2)
+	opt.GreedyGrow = true
+	opt.Concurrency = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Mine(g, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			b.Fatal("workload mined no patterns")
+		}
+	}
+}
+
+func BenchmarkMineConcurrency1(b *testing.B) { benchMineConcurrency(b, 1) }
+func BenchmarkMineConcurrency2(b *testing.B) { benchMineConcurrency(b, 2) }
+func BenchmarkMineConcurrency4(b *testing.B) { benchMineConcurrency(b, 4) }
+func BenchmarkMineConcurrency8(b *testing.B) { benchMineConcurrency(b, 8) }
 
 // BenchmarkTables12_DataSettings regenerates the Table 1/2 data sets
 // (generation cost only; the settings themselves are constants).

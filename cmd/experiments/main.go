@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"skinnymine/internal/exp"
 	"skinnymine/internal/synth"
@@ -27,9 +28,13 @@ func main() {
 		seed  = flag.Int64("seed", 1, "random seed")
 		scale = flag.Float64("scale", 0.1, "graph size scale (1.0 = paper scale)")
 		full  = flag.Bool("full", false, "shorthand for -scale 1.0")
+		conc  = flag.Int("concurrency", 1, "SkinnyMine mining workers (1: the paper's sequential algorithm, for fair single-threaded baseline comparisons; 0: one per CPU)")
 	)
 	flag.Parse()
-	cfg := exp.Config{Seed: *seed, Scale: *scale}
+	if *conc <= 0 {
+		*conc = runtime.GOMAXPROCS(0)
+	}
+	cfg := exp.Config{Seed: *seed, Scale: *scale, Concurrency: *conc}
 	if *full {
 		cfg.Scale = 1.0
 	}

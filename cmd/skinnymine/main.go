@@ -36,7 +36,7 @@ func main() {
 		limit    = flag.Int("max", 0, "stop after this many patterns (0: unlimited)")
 		top      = flag.Int("top", 20, "print at most this many patterns, largest first")
 		asJSON   = flag.Bool("json", false, "emit the full result as JSON")
-		workers  = flag.Int("workers", 1, "parallel growth workers")
+		conc     = flag.Int("concurrency", 0, "mining workers (0: one per CPU, 1: sequential)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -70,7 +70,7 @@ func main() {
 		MaximalOnly: *maximal,
 		ClosedOnly:  *closed,
 		MaxPatterns: *limit,
-		Workers:     *workers,
+		Concurrency: *conc,
 	}
 	if *perGraph {
 		opt.Measure = skinnymine.GraphCount

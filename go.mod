@@ -1,0 +1,3 @@
+module skinnymine
+
+go 1.24.0

@@ -45,7 +45,7 @@ const (
 // extensions); dh and dt are the child's updated index slices.
 type checker struct {
 	mode  CheckMode
-	stats *Stats
+	stats *statCounters
 }
 
 // checkForward validates attaching new vertex u (the last vertex of g)
@@ -109,7 +109,7 @@ func (c *checker) run(g *graph.Graph, diamLen int32, fast func() rejectReason) r
 		f := fast()
 		n := c.naive(g, diamLen)
 		if (f == passed) != (n == passed) {
-			c.stats.CheckMismatches++
+			c.stats.checkMismatches.Add(1)
 		}
 		return n
 	default:

@@ -14,7 +14,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"skinnymine/internal/graph"
 )
@@ -104,14 +107,32 @@ func (b *pathBucket) add(e PathEmb) {
 	b.embs = append(b.embs, e)
 }
 
+// merge folds another worker's bucket for the same pattern into b,
+// reusing the other bucket's already-materialized subgraph keys
+// instead of re-deriving them per embedding.
+func (b *pathBucket) merge(o *pathBucket) {
+	for _, e := range o.embs {
+		k := e.key()
+		if _, dup := b.seen[k]; dup {
+			continue
+		}
+		b.seen[k] = struct{}{}
+		b.embs = append(b.embs, e)
+	}
+	for k := range o.subgraphs {
+		b.subgraphs[k] = struct{}{}
+	}
+}
+
 // DiamMiner mines frequent simple paths (Algorithm 2) over one or more
 // data graphs and caches the power-of-two levels so that repeated
 // requests for different lengths — the paper's direct mining usage
 // pattern (Figure 2) — reuse work.
 type DiamMiner struct {
-	graphs  []*graph.Graph
-	support int
-	levels  map[int][]*PathPattern // key: length (powers of two and served l)
+	graphs      []*graph.Graph
+	support     int
+	concurrency int
+	levels      map[int][]*PathPattern // key: length (powers of two and served l)
 }
 
 // NewDiamMiner returns a miner over the given graphs with threshold σ.
@@ -123,15 +144,36 @@ func NewDiamMiner(graphs []*graph.Graph, support int) (*DiamMiner, error) {
 		return nil, fmt.Errorf("core: support threshold must be >= 1, got %d", support)
 	}
 	return &DiamMiner{
-		graphs:  graphs,
-		support: support,
-		levels:  make(map[int][]*PathPattern),
+		graphs:      graphs,
+		support:     support,
+		concurrency: 1,
+		levels:      make(map[int][]*PathPattern),
 	}, nil
+}
+
+// SetConcurrency bounds the worker pool used by concat and merge joins
+// (<= 0 means one worker per available CPU, matching the Options
+// convention). Mined results are identical at every setting; only
+// wall-clock time changes. Call it before serving, not concurrently
+// with Mine: cache-miss materialization mutates the level cache, so
+// only cache-hit Mine calls are safe to run in parallel with each
+// other (unchanged from the sequential miner).
+func (m *DiamMiner) SetConcurrency(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	m.concurrency = n
 }
 
 // Mine returns all frequent simple paths of length exactly l, sorted by
 // canonical label sequence. Results are cached per length.
 func (m *DiamMiner) Mine(l int) ([]*PathPattern, error) {
+	return m.mine(l, m.concurrency)
+}
+
+// mine is Mine with an explicit worker count, so one request can use
+// its own Options.Concurrency without writing shared miner state.
+func (m *DiamMiner) mine(l, workers int) ([]*PathPattern, error) {
 	if l < 1 {
 		return nil, fmt.Errorf("core: path length must be >= 1, got %d", l)
 	}
@@ -143,13 +185,13 @@ func (m *DiamMiner) Mine(l int) ([]*PathPattern, error) {
 	for k*2 <= l {
 		k *= 2
 	}
-	if err := m.ensurePowers(k); err != nil {
+	if err := m.ensurePowers(k, workers); err != nil {
 		return nil, err
 	}
 	if l == k {
 		return m.levels[l], nil
 	}
-	merged := m.merge(m.levels[k], l, k)
+	merged := m.merge(m.levels[k], l, k, workers)
 	m.levels[l] = merged
 	return merged, nil
 }
@@ -172,7 +214,7 @@ func (m *DiamMiner) MaxFrequentLength(limit int) (int, error) {
 }
 
 // ensurePowers fills m.levels for lengths 1, 2, 4, ..., upto.
-func (m *DiamMiner) ensurePowers(upto int) error {
+func (m *DiamMiner) ensurePowers(upto, workers int) error {
 	if _, ok := m.levels[1]; !ok {
 		m.levels[1] = m.frequentEdges()
 	}
@@ -180,7 +222,7 @@ func (m *DiamMiner) ensurePowers(upto int) error {
 		if _, ok := m.levels[l]; ok {
 			continue
 		}
-		m.levels[l] = m.concat(m.levels[l/2])
+		m.levels[l] = m.concat(m.levels[l/2], workers)
 	}
 	return nil
 }
@@ -206,11 +248,109 @@ func (m *DiamMiner) frequentEdges() []*PathPattern {
 	return m.collect(buckets)
 }
 
+// flattenEmbs gathers every oriented embedding of every pattern into one
+// slice, the work list the parallel joins partition.
+func flattenEmbs(pool []*PathPattern) []PathEmb {
+	n := 0
+	for _, p := range pool {
+		n += len(p.Embs)
+	}
+	out := make([]PathEmb, 0, n)
+	for _, p := range pool {
+		out = append(out, p.Embs...)
+	}
+	return out
+}
+
+// joinBuckets applies join to every oriented embedding in the pool,
+// bucketing candidates. Sequentially it iterates the pool in place;
+// with two or more workers it flattens the embeddings into a shared
+// work list and fans chunks across parBuckets. join receives a
+// worker-private bucket map and a reusable scratch set it must clear.
+func (m *DiamMiner) joinBuckets(pool []*PathPattern, workers int,
+	join func(a PathEmb, buckets map[string]*pathBucket, inA map[graph.V]struct{})) map[string]*pathBucket {
+	if workers < 2 {
+		buckets := make(map[string]*pathBucket)
+		inA := make(map[graph.V]struct{}, 16)
+		for _, p := range pool {
+			for _, a := range p.Embs {
+				join(a, buckets, inA)
+			}
+		}
+		return buckets
+	}
+	as := flattenEmbs(pool)
+	return m.parBuckets(len(as), workers, func(lo, hi int, buckets map[string]*pathBucket) {
+		inA := make(map[graph.V]struct{}, 16)
+		for _, a := range as[lo:hi] {
+			join(a, buckets, inA)
+		}
+	})
+}
+
+// parBuckets runs the join body over [0, n) across a pool of the given
+// worker count, each worker filling a private bucket map over contiguous chunks
+// claimed from a shared counter, then merges the worker maps. Bucket
+// membership is set-valued (exact-key dedup, orientation-independent
+// support sets) and collect sorts everything it emits, so the merged
+// result is identical to the sequential one regardless of scheduling.
+func (m *DiamMiner) parBuckets(n, workers int, run func(lo, hi int, buckets map[string]*pathBucket)) map[string]*pathBucket {
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 {
+		buckets := make(map[string]*pathBucket)
+		if n > 0 {
+			run(0, n, buckets)
+		}
+		return buckets
+	}
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	locals := make([]map[string]*pathBucket, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buckets := make(map[string]*pathBucket)
+			locals[w] = buckets
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				run(lo, hi, buckets)
+			}
+		}(w)
+	}
+	wg.Wait()
+	out := locals[0]
+	for _, loc := range locals[1:] {
+		for key, b := range loc {
+			dst, ok := out[key]
+			if !ok {
+				out[key] = b
+				continue
+			}
+			dst.merge(b)
+		}
+	}
+	return out
+}
+
 // concat joins pairs of frequent paths of length L end-to-end into
 // candidate paths of length 2L (Algorithm 2 lines 2–7). Because every
 // pattern stores both orientations of every embedding, a single
 // last-vertex index covers all of CheckConcat's cases.
-func (m *DiamMiner) concat(prev []*PathPattern) []*PathPattern {
+func (m *DiamMiner) concat(prev []*PathPattern, workers int) []*PathPattern {
 	type vkey struct {
 		gid int32
 		v   graph.V
@@ -222,30 +362,25 @@ func (m *DiamMiner) concat(prev []*PathPattern) []*PathPattern {
 			byFirst[k] = append(byFirst[k], e)
 		}
 	}
-	buckets := make(map[string]*pathBucket)
-	var inA map[graph.V]struct{}
-	for _, p := range prev {
-		for _, a := range p.Embs {
-			if inA == nil {
-				inA = make(map[graph.V]struct{}, len(a.Seq)*2)
-			} else {
-				clear(inA)
-			}
-			for _, v := range a.Seq {
-				inA[v] = struct{}{}
-			}
-			joint := a.Seq[len(a.Seq)-1]
-			for _, b := range byFirst[vkey{a.GID, joint}] {
-				if !disjointAfterJoint(inA, b.Seq) {
-					continue
-				}
-				comb := make(graph.Path, 0, len(a.Seq)+len(b.Seq)-1)
-				comb = append(comb, a.Seq...)
-				comb = append(comb, b.Seq[1:]...)
-				m.bucketAdd(buckets, PathEmb{GID: a.GID, Seq: comb})
-			}
+	buckets := m.joinBuckets(prev, workers, func(a PathEmb, buckets map[string]*pathBucket, inA map[graph.V]struct{}) {
+		cands := byFirst[vkey{a.GID, a.Seq[len(a.Seq)-1]}]
+		if len(cands) == 0 {
+			return
 		}
-	}
+		clear(inA)
+		for _, v := range a.Seq {
+			inA[v] = struct{}{}
+		}
+		for _, b := range cands {
+			if !disjointAfterJoint(inA, b.Seq) {
+				continue
+			}
+			comb := make(graph.Path, 0, len(a.Seq)+len(b.Seq)-1)
+			comb = append(comb, a.Seq...)
+			comb = append(comb, b.Seq[1:]...)
+			m.bucketAdd(buckets, PathEmb{GID: a.GID, Seq: comb})
+		}
+	})
 	return m.collect(buckets)
 }
 
@@ -253,7 +388,7 @@ func (m *DiamMiner) concat(prev []*PathPattern) []*PathPattern {
 // overlap o = 2m-l (Algorithm 2 lines 9–17). The single prefix index
 // covers both CheckMergeHead and CheckMergeTail because both orientations
 // of every embedding are stored.
-func (m *DiamMiner) merge(pool []*PathPattern, l, pm int) []*PathPattern {
+func (m *DiamMiner) merge(pool []*PathPattern, l, pm int, workers int) []*PathPattern {
 	o := 2*pm - l // overlap in edges, >= 1
 	type pkey struct {
 		gid int32
@@ -266,34 +401,26 @@ func (m *DiamMiner) merge(pool []*PathPattern, l, pm int) []*PathPattern {
 				byPrefix[pkey{e.GID, vertexTupleKey(e.Seq[:o+1])}], e)
 		}
 	}
-	buckets := make(map[string]*pathBucket)
-	var inA map[graph.V]struct{}
-	for _, p := range pool {
-		for _, a := range p.Embs {
-			suffix := a.Seq[len(a.Seq)-o-1:]
-			cands := byPrefix[pkey{a.GID, vertexTupleKey(suffix)}]
-			if len(cands) == 0 {
+	buckets := m.joinBuckets(pool, workers, func(a PathEmb, buckets map[string]*pathBucket, inA map[graph.V]struct{}) {
+		suffix := a.Seq[len(a.Seq)-o-1:]
+		cands := byPrefix[pkey{a.GID, vertexTupleKey(suffix)}]
+		if len(cands) == 0 {
+			return
+		}
+		clear(inA)
+		for _, v := range a.Seq {
+			inA[v] = struct{}{}
+		}
+		for _, b := range cands {
+			if !disjointAfterOverlap(inA, b.Seq, o) {
 				continue
 			}
-			if inA == nil {
-				inA = make(map[graph.V]struct{}, len(a.Seq)*2)
-			} else {
-				clear(inA)
-			}
-			for _, v := range a.Seq {
-				inA[v] = struct{}{}
-			}
-			for _, b := range cands {
-				if !disjointAfterOverlap(inA, b.Seq, o) {
-					continue
-				}
-				comb := make(graph.Path, 0, l+1)
-				comb = append(comb, a.Seq...)
-				comb = append(comb, b.Seq[o+1:]...)
-				m.bucketAdd(buckets, PathEmb{GID: a.GID, Seq: comb})
-			}
+			comb := make(graph.Path, 0, l+1)
+			comb = append(comb, a.Seq...)
+			comb = append(comb, b.Seq[o+1:]...)
+			m.bucketAdd(buckets, PathEmb{GID: a.GID, Seq: comb})
 		}
-	}
+	})
 	return m.collect(buckets)
 }
 

@@ -187,6 +187,12 @@ func BuildIndex(graphs []*graph.Graph, sigma int) (*DirectIndex, error) {
 	return &DirectIndex{dm: dm}, nil
 }
 
+// SetConcurrency bounds the worker pool for index materialization
+// triggered directly through MinimalPatterns, with the Options
+// convention: <= 0 means one worker per available CPU. Mine requests
+// use their own Options.Concurrency without touching this setting.
+func (ix *DirectIndex) SetConcurrency(n int) { ix.dm.SetConcurrency(n) }
+
 // MinimalPatterns returns the minimal constraint-satisfying patterns for
 // diameter length l (the frequent paths of that length).
 func (ix *DirectIndex) MinimalPatterns(l int) ([]*PathPattern, error) {

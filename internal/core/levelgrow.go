@@ -153,19 +153,19 @@ func (m *miner) greedyLevelGrow(p *Pattern, level int32) []*Pattern {
 	for {
 		applied := false
 		for _, d := range m.candidates(cur, level) {
-			m.stats.ExtensionsTried++
+			m.stats.extensionsTried.Add(1)
 			child, reason := m.extend(cur, d, level)
 			switch reason {
 			case rejectI:
-				m.stats.ConstraintRejects[0]++
+				m.stats.constraintRejects[0].Add(1)
 			case rejectII:
-				m.stats.ConstraintRejects[1]++
+				m.stats.constraintRejects[1].Add(1)
 			case rejectIII:
-				m.stats.ConstraintRejects[2]++
+				m.stats.constraintRejects[2].Add(1)
 			}
 			if child == nil {
 				if reason == passed {
-					m.stats.FrequencyRejects++
+					m.stats.frequencyRejects.Add(1)
 				}
 				continue
 			}
@@ -181,9 +181,9 @@ func (m *miner) greedyLevelGrow(p *Pattern, level int32) []*Pattern {
 	if !grew {
 		return nil
 	}
-	m.stats.Generated++
+	m.stats.generated.Add(1)
 	if !m.dedup(cur) {
-		m.stats.Duplicates++
+		m.stats.duplicates.Add(1)
 		return nil
 	}
 	return []*Pattern{cur}
@@ -205,25 +205,25 @@ func (m *miner) levelGrow(p *Pattern, level int32) []*Pattern {
 				if cur.hasAnchor && compareDesc(d, cur.anchor) < 0 {
 					continue
 				}
-				m.stats.ExtensionsTried++
+				m.stats.extensionsTried.Add(1)
 				child, reason := m.extend(cur, d, level)
 				switch reason {
 				case rejectI:
-					m.stats.ConstraintRejects[0]++
+					m.stats.constraintRejects[0].Add(1)
 				case rejectII:
-					m.stats.ConstraintRejects[1]++
+					m.stats.constraintRejects[1].Add(1)
 				case rejectIII:
-					m.stats.ConstraintRejects[2]++
+					m.stats.constraintRejects[2].Add(1)
 				}
 				if child == nil {
 					if reason == passed {
-						m.stats.FrequencyRejects++
+						m.stats.frequencyRejects.Add(1)
 					}
 					continue
 				}
-				m.stats.Generated++
+				m.stats.generated.Add(1)
 				if !m.dedup(child) {
-					m.stats.Duplicates++
+					m.stats.duplicates.Add(1)
 					continue
 				}
 				if !m.consumeBudget() {

@@ -21,7 +21,12 @@ type Pattern struct {
 
 	anchor    extDesc // last extension applied (Panchor, Algorithm 3)
 	hasAnchor bool
+	codeKey   string // canonical DFS code, set at dedup time
 }
+
+// CodeKey returns the pattern's canonical DFS code key (the dedup and
+// output-ordering key); empty for patterns never passed through dedup.
+func (p *Pattern) CodeKey() string { return p.codeKey }
 
 // Diam returns the canonical diameter as a pattern path (vertices
 // 0..DiamLen).

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,10 +54,18 @@ type Options struct {
 	ValidateOutput bool
 	// MaxLevels bounds growth when Delta < 0 (default 32).
 	MaxLevels int
-	// Workers runs Stage II growth of different canonical diameters in
-	// parallel (0 or 1 = sequential). Results are deterministic: output
-	// order follows seed order regardless of scheduling.
-	Workers int
+	// Concurrency bounds the worker pool used by both mining stages:
+	// Stage I fans the per-label-sequence bucket joins of path doubling
+	// and merging across workers, Stage II grows different canonical
+	// diameters in parallel. 0 (or negative) means one worker per
+	// available CPU (runtime.GOMAXPROCS(0)); 1 reproduces the sequential
+	// path exactly. Output is byte-identical at every setting: results
+	// are dedup'd against a shared canonical-code set and finally sorted
+	// by (diameter length, canonical DFS code), so neither worker count
+	// nor scheduling shows through. The one exception is MaxPatterns > 0
+	// with Concurrency > 1, where which patterns win the budget race is
+	// scheduling-dependent (the count still honors the cap).
+	Concurrency int
 }
 
 // DefaultOptions returns the recommended defaults for (l,δ)-SPM.
@@ -96,7 +106,7 @@ type miner struct {
 	graphs []*graph.Graph
 	opt    Options
 	check  checker
-	stats  *Stats
+	stats  *statCounters
 	codes  *codeSet
 	budget *atomic.Int64 // remaining MaxPatterns budget; nil = unlimited
 }
@@ -110,37 +120,77 @@ func (m *miner) consumeBudget() bool {
 	return m.budget.Add(-1) >= 0
 }
 
-// codeSet is the canonical-code dedup set, mutex-guarded so parallel
-// seed growth shares it.
-type codeSet struct {
-	mu sync.Mutex
-	m  map[string]struct{}
+// statCounters is the lock-free accumulator behind Stats: one miner is
+// shared by every Stage II worker, so each counter is atomic. The
+// public Stats snapshot is taken once, after the pool drains.
+type statCounters struct {
+	extensionsTried   atomic.Int64
+	generated         atomic.Int64
+	duplicates        atomic.Int64
+	constraintRejects [3]atomic.Int64
+	frequencyRejects  atomic.Int64
+	checkMismatches   atomic.Int64
+	outputInvalid     atomic.Int64
 }
 
-func newCodeSet() *codeSet { return &codeSet{m: make(map[string]struct{})} }
+func (c *statCounters) snapshot(s *Stats) {
+	s.ExtensionsTried = int(c.extensionsTried.Load())
+	s.Generated = int(c.generated.Load())
+	s.Duplicates = int(c.duplicates.Load())
+	for i := range s.ConstraintRejects {
+		s.ConstraintRejects[i] = int(c.constraintRejects[i].Load())
+	}
+	s.FrequencyRejects = int(c.frequencyRejects.Load())
+	s.CheckMismatches = int(c.checkMismatches.Load())
+	s.OutputInvalid = int(c.outputInvalid.Load())
+}
+
+// codeShards is the stripe count of the canonical-code dedup set. 64
+// stripes keep lock contention negligible for any realistic worker
+// count at a total cost of 4KB.
+const codeShards = 64
+
+// codeSet is the canonical-code dedup set shared by all workers,
+// striped by key hash so parallel seed growth rarely contends.
+type codeSet struct {
+	shards [codeShards]codeShard
+}
+
+// codeShard is padded to a cache line so adjacent stripes don't false-
+// share under concurrent inserts.
+type codeShard struct {
+	mu sync.Mutex
+	m  map[string]struct{}
+	_  [64 - 16]byte
+}
+
+func newCodeSet() *codeSet {
+	c := &codeSet{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]struct{})
+	}
+	return c
+}
 
 func (c *codeSet) insert(key string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, dup := c.m[key]; dup {
+	s := &c.shards[fnv1a(key)%codeShards]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.m[key]; dup {
 		return false
 	}
-	c.m[key] = struct{}{}
+	s.m[key] = struct{}{}
 	return true
 }
 
-// add merges another stats accumulator (used when seeds grow in
-// parallel; stage timings are handled by the caller).
-func (s *Stats) add(o *Stats) {
-	s.ExtensionsTried += o.ExtensionsTried
-	s.Generated += o.Generated
-	s.Duplicates += o.Duplicates
-	for i := range s.ConstraintRejects {
-		s.ConstraintRejects[i] += o.ConstraintRejects[i]
+// fnv1a is the 32-bit FNV-1a hash, used only to pick a dedup stripe.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
 	}
-	s.FrequencyRejects += o.FrequencyRejects
-	s.CheckMismatches += o.CheckMismatches
-	s.OutputInvalid += o.OutputInvalid
+	return h
 }
 
 // Mine runs SkinnyMine on a single graph (Definition 8).
@@ -191,6 +241,9 @@ func validate(graphs []*graph.Graph, opt *Options) error {
 	if opt.MaxLevels == 0 {
 		opt.MaxLevels = 32
 	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = runtime.GOMAXPROCS(0)
+	}
 	return nil
 }
 
@@ -198,7 +251,7 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 	m := &miner{
 		graphs: graphs,
 		opt:    opt,
-		stats:  &Stats{},
+		stats:  &statCounters{},
 		codes:  newCodeSet(),
 	}
 	if opt.MaxPatterns > 0 {
@@ -206,61 +259,62 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 		m.budget.Store(int64(opt.MaxPatterns))
 	}
 	m.check = checker{mode: opt.CheckMode, stats: m.stats}
+	stats := Stats{}
 
 	lo := opt.Length
 	if opt.MinLength > 0 {
 		lo = opt.MinLength
 	}
 
-	// Stage I: mine canonical diameters.
+	// Stage I: mine canonical diameters, fanning bucket joins across
+	// this request's worker budget. The count is passed per call — not
+	// stored on the shared miner — so concurrent requests against a
+	// warmed index stay race-free.
 	t0 := time.Now()
 	var seeds []*PathPattern
 	for l := lo; l <= opt.Length; l++ {
-		ps, err := dm.Mine(l)
+		ps, err := dm.mine(l, opt.Concurrency)
 		if err != nil {
 			return nil, err
 		}
 		seeds = append(seeds, ps...)
 	}
-	m.stats.DiamMineTime = time.Since(t0)
-	m.stats.PathsMined = len(seeds)
+	stats.DiamMineTime = time.Since(t0)
+	stats.PathsMined = len(seeds)
 
-	// Stage II: grow each canonical diameter level by level, optionally
-	// across workers (one seed's cluster per task; output order follows
-	// seed order, so results are deterministic).
+	// Stage II: grow each canonical diameter level by level, one seed's
+	// cluster per task. Workers share the miner: the dedup set is
+	// striped, counters are atomic, and everything else is read-only.
 	t1 := time.Now()
 	maxDelta := opt.Delta
 	if maxDelta < 0 {
 		maxDelta = opt.MaxLevels
 	}
 	perSeed := make([][]*Pattern, len(seeds))
-	workers := opt.Workers
-	if workers < 2 || len(seeds) < 2 {
+	workers := opt.Concurrency
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	if workers < 2 {
 		for i, pp := range seeds {
 			perSeed[i] = m.growSeed(pp, maxDelta)
 		}
 	} else {
 		var wg sync.WaitGroup
-		tasks := make(chan int)
-		var mu sync.Mutex
+		var next atomic.Int64
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				local := &miner{graphs: graphs, opt: opt, stats: &Stats{}, codes: m.codes, budget: m.budget}
-				local.check = checker{mode: opt.CheckMode, stats: local.stats}
-				for i := range tasks {
-					perSeed[i] = local.growSeed(seeds[i], maxDelta)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(seeds) {
+						return
+					}
+					perSeed[i] = m.growSeed(seeds[i], maxDelta)
 				}
-				mu.Lock()
-				m.stats.add(local.stats)
-				mu.Unlock()
 			}()
 		}
-		for i := range seeds {
-			tasks <- i
-		}
-		close(tasks)
 		wg.Wait()
 	}
 	var out []*Pattern
@@ -271,6 +325,15 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 			break
 		}
 	}
+	// Canonical output order: seeds race only through the shared dedup
+	// set, so the merged set is scheduling-independent; sorting by
+	// (diameter length, canonical code) makes the order so too.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DiamLen != out[j].DiamLen {
+			return out[i].DiamLen < out[j].DiamLen
+		}
+		return out[i].codeKey < out[j].codeKey
+	})
 
 	if opt.ValidateOutput {
 		out = m.validateOutput(out, lo)
@@ -278,8 +341,9 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 	if opt.ClosedOnly {
 		out = closedOnly(out)
 	}
-	m.stats.LevelGrowTime = time.Since(t1)
-	return &Result{Patterns: out, Stats: *m.stats}, nil
+	stats.LevelGrowTime = time.Since(t1)
+	m.stats.snapshot(&stats)
+	return &Result{Patterns: out, Stats: stats}, nil
 }
 
 // growSeed grows one canonical diameter's cluster to completion (or
@@ -310,8 +374,21 @@ func (m *miner) growSeed(pp *PathPattern, maxDelta int) []*Pattern {
 }
 
 // dedup registers the pattern's canonical code, reporting true when new.
+// The code is kept on the pattern for the final canonical output sort.
+// The set key includes the claimed diameter length: in a band request
+// two seeds of different lengths could otherwise grow isomorphic
+// graphs (one of them violating the growth invariant, possible only if
+// a fast check over-accepted), and whichever won the insert race would
+// suppress the other — making output depend on scheduling and possibly
+// discarding the valid claim. Keyed per length, the valid pattern
+// always survives and validateOutput drops the deviant. A deviant
+// claiming the SAME length as the valid pattern would still race —
+// that case requires a same-length fast-check over-acceptance, i.e. a
+// violation of Theorems 1–3, which is also the stated precondition of
+// the determinism guarantee (see the package doc).
 func (m *miner) dedup(p *Pattern) bool {
-	return m.codes.insert(dfscode.MinCodeKey(p.G))
+	p.codeKey = dfscode.MinCodeKey(p.G)
+	return m.codes.insert(string(append4(nil, p.DiamLen)) + p.codeKey)
 }
 
 // validateOutput drops patterns whose canonical diameter deviated from
@@ -331,7 +408,7 @@ func (m *miner) validateOutput(ps []*Pattern, lo int) []*Pattern {
 			}
 		}
 		if !ok {
-			m.stats.OutputInvalid++
+			m.stats.outputInvalid.Add(1)
 			continue
 		}
 		out = append(out, p)

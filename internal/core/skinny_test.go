@@ -316,7 +316,7 @@ func TestConstraintExamples(t *testing.T) {
 		pp.Embs = []PathEmb{{Seq: graph.Path{0, 1, 2}}}
 		return newPatternFromPath(pp, []*graph.Graph{data}, 0)
 	}
-	c := checker{mode: CheckFast, stats: &Stats{}}
+	c := checker{mode: CheckFast, stats: &statCounters{}}
 
 	// Constraint I: new vertex hanging off the head is at distance 3 > 2
 	// from the tail -> diameter would grow.
@@ -610,8 +610,9 @@ func TestParallelWorkersMatchSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(81))
 	g := testutil.RandomConnectedGraph(rng, 14, 5, 3)
 	seq := DefaultOptions(1, 3, 2)
+	seq.Concurrency = 1
 	par := seq
-	par.Workers = 4
+	par.Concurrency = 4
 	rs, err := Mine(g, seq)
 	if err != nil {
 		t.Fatal(err)

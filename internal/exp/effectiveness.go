@@ -45,6 +45,7 @@ func RunPatternDistribution(cfg Config, gid int) (*DistributionResult, error) {
 	// visiting shorter diameters.
 	t0 := time.Now()
 	opt := core.DefaultOptions(2, s.Ld, 2)
+	opt.Concurrency = cfg.workers()
 	opt.GreedyGrow = true
 	opt.MaxEmbeddings = 1000
 	opt.MaxPatterns = 20000
@@ -177,6 +178,7 @@ func RunSkinninessLadder(cfg Config) ([]LadderRow, error) {
 			delta = 1
 		}
 		opt := core.DefaultOptions(2, row.Diam, delta)
+		opt.Concurrency = cfg.workers()
 		opt.GreedyGrow = true
 		opt.MaxEmbeddings = 1000
 		opt.MaxPatterns = 20000
@@ -278,6 +280,7 @@ func RunTransaction(cfg Config, extraSmall bool) ([]Hist, error) {
 	// injected diameter as the length constraint (the paper's request),
 	// storage capped so dense backgrounds stay bounded.
 	opt := core.DefaultOptions(5, diam, 2)
+	opt.Concurrency = cfg.workers()
 	opt.Measure = support.GraphCount
 	opt.GreedyGrow = true
 	opt.MaxEmbeddings = 500

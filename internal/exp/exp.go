@@ -24,6 +24,22 @@ type Config struct {
 	Seed int64
 	// Scale in (0,1] multiplies graph sizes. 1 = paper scale.
 	Scale float64
+	// Concurrency sets the worker count of every SkinnyMine run. The
+	// zero value (and 1) means the paper's sequential algorithm, so the
+	// runtime comparisons against the single-threaded baseline miners
+	// stay fair by default; set >= 2 (or pass -concurrency 0 through
+	// cmd/experiments for one worker per CPU) to time the parallel
+	// engine. SkinnyMine's output is deterministic at every setting.
+	Concurrency int
+}
+
+// workers resolves Concurrency for a mining run: any value below 2
+// runs the sequential algorithm.
+func (c Config) workers() int {
+	if c.Concurrency < 2 {
+		return 1
+	}
+	return c.Concurrency
 }
 
 // DefaultConfig is the quick, laptop-friendly configuration.

@@ -9,6 +9,16 @@ import (
 
 func tinyConfig() Config { return Config{Seed: 3, Scale: 0.05} }
 
+// skipIfShort guards the experiment-harness tests, which regenerate
+// paper figures and dominate the suite's runtime (tens of seconds);
+// `go test -short ./...` runs only the fast shape/render tests.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("slow experiment reproduction; run without -short")
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tb := &Table{
 		Title:  "demo",
@@ -47,6 +57,7 @@ func TestHistTableAndSeriesTable(t *testing.T) {
 // SkinnyMine recovers the injected long patterns (largest sizes), while
 // SUBDUE and SEuS stay at small sizes.
 func TestFig4Distribution(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunPatternDistribution(tinyConfig(), 1)
 	if err != nil {
 		t.Fatal(err)
@@ -93,6 +104,7 @@ func TestFig4BadGID(t *testing.T) {
 }
 
 func TestRuntimeTableShape(t *testing.T) {
+	skipIfShort(t)
 	tb, err := RunRuntimeTable(tinyConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -106,6 +118,7 @@ func TestRuntimeTableShape(t *testing.T) {
 // the skinny patterns (PID 1-5); SpiderMine's best coverage on the
 // fattest patterns exceeds its coverage on the skinniest.
 func TestSkinninessLadder(t *testing.T) {
+	skipIfShort(t)
 	rows, err := RunSkinninessLadder(Config{Seed: 5, Scale: 0.1})
 	if err != nil {
 		t.Fatal(err)
@@ -138,6 +151,7 @@ func TestSkinninessLadder(t *testing.T) {
 // TestTransactionShape checks Figures 9/10: SkinnyMine returns the
 // largest patterns; ORIGAMI returns a scattered, smaller sample.
 func TestTransactionShape(t *testing.T) {
+	skipIfShort(t)
 	hists, err := RunTransaction(tinyConfig(), false)
 	if err != nil {
 		t.Fatal(err)
@@ -177,6 +191,7 @@ func TestTransactionShape(t *testing.T) {
 }
 
 func TestVsMoSSShape(t *testing.T) {
+	skipIfShort(t)
 	series, err := RunVsMoSS(tinyConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -187,6 +202,7 @@ func TestVsMoSSShape(t *testing.T) {
 }
 
 func TestVsSUBDUEAndSpiderMineShapes(t *testing.T) {
+	skipIfShort(t)
 	s1, err := RunVsSUBDUE(Config{Seed: 2, Scale: 0.02})
 	if err != nil {
 		t.Fatal(err)
@@ -204,6 +220,7 @@ func TestVsSUBDUEAndSpiderMineShapes(t *testing.T) {
 }
 
 func TestScalabilityPoints(t *testing.T) {
+	skipIfShort(t)
 	pts, err := RunScalability(Config{Seed: 2, Scale: 0.005})
 	if err != nil {
 		t.Fatal(err)
@@ -225,6 +242,7 @@ func TestScalabilityPoints(t *testing.T) {
 // |V|/f ratio and is only visible near paper scale — see
 // EXPERIMENTS.md.
 func TestDiameterConstraintShape(t *testing.T) {
+	skipIfShort(t)
 	pts, err := RunDiameterConstraint(Config{Seed: 7, Scale: 0.05}, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -250,6 +268,7 @@ func TestDiameterConstraintShape(t *testing.T) {
 // TestSkinninessConstraintShape checks Figures 18/19: the largest
 // pattern size is non-decreasing in δ.
 func TestSkinninessConstraintShape(t *testing.T) {
+	skipIfShort(t)
 	pts, err := RunSkinninessConstraint(Config{Seed: 9, Scale: 0.02}, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -269,6 +288,7 @@ func TestSkinninessConstraintShape(t *testing.T) {
 }
 
 func TestDBLPExperiment(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunDBLP(Config{Seed: 11, Scale: 0.08})
 	if err != nil {
 		t.Fatal(err)
@@ -293,6 +313,7 @@ func TestDBLPExperiment(t *testing.T) {
 }
 
 func TestWeiboExperiment(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunWeibo(Config{Seed: 13, Scale: 0.08})
 	if err != nil {
 		t.Fatal(err)

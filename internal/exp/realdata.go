@@ -40,6 +40,7 @@ func RunDBLP(cfg Config) (*RealDataResult, error) {
 	l := years - 1
 	t0 := time.Now()
 	opt := core.DefaultOptions(2, l, 1)
+	opt.Concurrency = cfg.workers()
 	opt.Measure = support.GraphCount
 	opt.GreedyGrow = true
 	res, err := core.MineDB(db, opt)
@@ -114,6 +115,7 @@ func RunWeibo(cfg Config) (*RealDataResult, error) {
 	})
 	t0 := time.Now()
 	opt := core.DefaultOptions(2, chainLen, 3)
+	opt.Concurrency = cfg.workers()
 	opt.MinLength = 10
 	if opt.MinLength > chainLen {
 		opt.MinLength = chainLen

@@ -28,6 +28,7 @@ func RunVsMoSS(cfg Config) ([]Series, error) {
 		g := synth.ER(rng, n, 2, f)
 		t0 := time.Now()
 		opt := core.DefaultOptions(2, 4, 2)
+		opt.Concurrency = cfg.workers()
 		opt.MinLength = 2
 		if _, err := core.Mine(g, opt); err != nil {
 			return nil, err
@@ -57,6 +58,7 @@ func RunVsSUBDUE(cfg Config) ([]Series, error) {
 		g := synth.ER(rng, n, 3, f)
 		t0 := time.Now()
 		opt := core.DefaultOptions(2, 4, 2)
+		opt.Concurrency = cfg.workers()
 		opt.GreedyGrow = true
 		if _, err := core.Mine(g, opt); err != nil {
 			return nil, err
@@ -86,6 +88,7 @@ func RunVsSpiderMine(cfg Config) ([]Series, error) {
 		g := synth.ER(rng, n, 3, f)
 		t0 := time.Now()
 		opt := core.DefaultOptions(2, 4, 2)
+		opt.Concurrency = cfg.workers()
 		opt.GreedyGrow = true
 		if _, err := core.Mine(g, opt); err != nil {
 			return nil, err
@@ -125,6 +128,7 @@ func RunScalability(cfg Config) ([]ScalabilityPoint, error) {
 		rng := cfg.rng()
 		g := synth.ER(rng, n, 3, f)
 		opt := core.DefaultOptions(2, 8, 3)
+		opt.Concurrency = cfg.workers()
 		opt.MinLength = 4
 		opt.MaxPatterns = 20000
 		opt.MaxEmbeddings = 1000
@@ -167,6 +171,11 @@ func RunDiameterConstraint(cfg Config, maxL int) ([]ConstraintPoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The direct MinimalPatterns calls below materialize the path
+	// levels, so the worker budget must be set on the index itself —
+	// by the time ix.Mine threads its own Concurrency, the cache is
+	// already populated.
+	ix.SetConcurrency(cfg.workers())
 	var out []ConstraintPoint
 	for l := 2; l <= maxL; l++ {
 		t0 := time.Now()
@@ -176,6 +185,7 @@ func RunDiameterConstraint(cfg Config, maxL int) ([]ConstraintPoint, error) {
 		}
 		dmTime := time.Since(t0)
 		opt := core.DefaultOptions(2, l, 2)
+		opt.Concurrency = cfg.workers()
 		opt.MaxPatterns = 5000
 		opt.MaxEmbeddings = 500
 		res, err := ix.Mine(opt)
@@ -229,6 +239,7 @@ func RunSkinninessConstraint(cfg Config, maxDelta int) ([]DeltaPoint, error) {
 	var out []DeltaPoint
 	for d := 0; d <= maxDelta; d++ {
 		opt := core.DefaultOptions(2, l, d)
+		opt.Concurrency = cfg.workers()
 		opt.GreedyGrow = true
 		res, err := ix.Mine(opt)
 		if err != nil {

@@ -6,7 +6,23 @@ import (
 	"math/rand"
 
 	"skinnymine/internal/graph"
+	"skinnymine/internal/synth"
 )
+
+// SynthWorkload builds the parallel-mining workload shared by the
+// cross-concurrency determinism tests and the scaling benchmarks: an
+// Erdős–Rényi background with injected skinny patterns, so Stage I
+// yields many seeds and Stage II does real growth work. Keep test and
+// bench on this one recipe so they measure the same thing.
+func SynthWorkload(seed int64, n int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := synth.ER(rng, n, 2.5, 5)
+	pat := synth.RandomSkinnyPattern(rng, synth.SkinnySpec{
+		V: 12, Diam: 5, Delta: 2, LabelBase: 5, LabelRange: 3,
+	})
+	synth.Inject(rng, g, pat, 4, 0.2)
+	return g
+}
 
 // RandomConnectedGraph builds a connected labeled graph with n vertices:
 // a random spanning tree plus extra random edges, labels drawn uniformly

@@ -33,6 +33,23 @@
 //	res1, _ := ix.Mine(skinnymine.Options{Support: 2, Length: 10, Delta: 2})
 //	res2, _ := ix.Mine(skinnymine.Options{Support: 2, Length: 12, Delta: 3})
 //
+// # Concurrency and determinism
+//
+// Mining is parallel by default: Options.Concurrency bounds a worker
+// pool used by both stages (Stage I fans the path doubling/merging
+// bucket joins, Stage II grows different canonical diameters
+// concurrently against a shared, striped dedup set). 0 means one worker
+// per available CPU; 1 reproduces the sequential path exactly. The
+// result is deterministic: the pattern set, each pattern's support, and the
+// output order — sorted by (diameter length, canonical DFS code) — are
+// byte-identical for every Concurrency setting and scheduling. The one
+// exception is MaxPatterns > 0 under Concurrency > 1, where which
+// patterns win the budget race may vary (the count still honors the
+// cap). Stats timings and search counters may also differ negligibly
+// across runs. The guarantee rests on the exactness of the paper's
+// constraint checks (Theorems 1–3); output validation (on by default)
+// backstops any over-acceptance.
+//
 // Baseline miners from the paper's evaluation (gSpan, MoSS, SpiderMine,
 // SUBDUE, SEuS, ORIGAMI), synthetic workload generators and the full
 // experiment harness live under internal/ and are exercised by
@@ -118,9 +135,12 @@ type Options struct {
 	ClosedOnly bool
 	// MaxPatterns caps the result size (0 = unlimited).
 	MaxPatterns int
-	// Workers grows different canonical diameters in parallel
-	// (0 or 1 = sequential). Output is deterministic either way.
-	Workers int
+	// Concurrency bounds the worker pool both mining stages use: Stage I
+	// path doubling/merging joins and Stage II seed growth. 0 (the
+	// default) means one worker per available CPU; 1 forces the exact
+	// sequential path. See the package comment for the determinism
+	// guarantee.
+	Concurrency int
 }
 
 func (o Options) toCore() core.Options {
@@ -129,7 +149,7 @@ func (o Options) toCore() core.Options {
 	opt.GreedyGrow = o.MaximalOnly
 	opt.ClosedOnly = o.ClosedOnly
 	opt.MaxPatterns = o.MaxPatterns
-	opt.Workers = o.Workers
+	opt.Concurrency = o.Concurrency
 	if o.Measure == GraphCount {
 		opt.Measure = support.GraphCount
 	}

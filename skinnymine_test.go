@@ -220,11 +220,11 @@ func TestMinimalBackbones(t *testing.T) {
 
 func TestParallelWorkersPublicAPI(t *testing.T) {
 	g := buildTrajectoryGraph(t)
-	seq, err := Mine(g, Options{Support: 2, Length: 4, Delta: 1})
+	seq, err := Mine(g, Options{Support: 2, Length: 4, Delta: 1, Concurrency: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Mine(g, Options{Support: 2, Length: 4, Delta: 1, Workers: 3})
+	par, err := Mine(g, Options{Support: 2, Length: 4, Delta: 1, Concurrency: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
