@@ -37,6 +37,7 @@ func main() {
 		top      = flag.Int("top", 20, "print at most this many patterns, largest first")
 		asJSON   = flag.Bool("json", false, "emit the full result as JSON")
 		conc     = flag.Int("concurrency", 0, "mining workers (0: one per CPU, 1: sequential)")
+		snapshot = flag.String("snapshot", "", "also write a DirectIndex snapshot (for skinnymined -index) to this file")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -75,7 +76,7 @@ func main() {
 	if *perGraph {
 		opt.Measure = skinnymine.GraphCount
 	}
-	res, err := skinnymine.MineDB(graphs, opt)
+	res, err := mine(graphs, opt, *snapshot)
 	if err != nil {
 		fatal(err)
 	}
@@ -105,6 +106,24 @@ func main() {
 			p.Support(), p.DiameterLength(), p.Skinniness(),
 			p.Vertices(), p.Edges(), strings.Join(p.Backbone(), "-"))
 	}
+}
+
+// mine runs the request, optionally through a DirectIndex whose state —
+// including the levels this request materialized — is then persisted to
+// snapshotPath for skinnymined to serve. Results are identical either way.
+func mine(graphs []*skinnymine.Graph, opt skinnymine.Options, snapshotPath string) (*skinnymine.Result, error) {
+	if snapshotPath == "" {
+		return skinnymine.MineDB(graphs, opt)
+	}
+	ix, err := skinnymine.BuildIndex(graphs, opt.Support)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ix.Mine(opt)
+	if err != nil {
+		return nil, err
+	}
+	return res, ix.WriteSnapshotFile(snapshotPath)
 }
 
 func fatal(err error) {

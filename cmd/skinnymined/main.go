@@ -1,0 +1,136 @@
+// Command skinnymined serves SkinnyMine requests over HTTP from one
+// pre-computed DirectIndex — the paper's direct mining deployment
+// (Figure 2): pay Stage I once, answer many (l, δ) requests online.
+//
+// Start from a snapshot (written by `skinnymine -snapshot` or a prior
+// `skinnymined -save`):
+//
+//	skinnymined -index city.idx -addr :8080
+//
+// or build the index from a graph file, optionally persisting it:
+//
+//	skinnymined -input city.txt -support 2 -save city.idx
+//
+// Endpoints: POST /v1/mine (Options JSON in, ResultJSON out),
+// GET /v1/backbones?l=N, GET /healthz, GET /metrics. Example request:
+//
+//	curl -s localhost:8080/v1/mine -d '{"length":4,"delta":1}'
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"skinnymine"
+	"skinnymine/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		index   = flag.String("index", "", "load a DirectIndex snapshot instead of building one")
+		input   = flag.String("input", "", "graph file (text format) to build the index from")
+		sigma   = flag.Int("support", 2, "frequency threshold σ when building from -input")
+		save    = flag.String("save", "", "write the index snapshot to this file after loading/building")
+		maxConc = flag.Int("max-concurrent", 0, "mining runs admitted at once (0: 2× CPUs)")
+		maxLen  = flag.Int("max-length", 0, "largest diameter length a request may ask for (0: 64)")
+		cache   = flag.Int("cache", 0, "result cache entries (0: 256, negative: disable)")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	)
+	flag.Parse()
+	if (*index == "") == (*input == "") {
+		fmt.Fprintln(os.Stderr, "usage: skinnymined (-index <snapshot> | -input <file> [-support σ]) [-addr :8080]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	ix, err := openIndex(*index, *input, *sigma)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("index ready: %d graph(s), σ=%d, materialized levels %v",
+		ix.NumGraphs(), ix.Sigma(), ix.MaterializedLevels())
+
+	if *save != "" {
+		if err := ix.WriteSnapshotFile(*save); err != nil {
+			fatal(err)
+		}
+		log.Printf("snapshot saved to %s", *save)
+	}
+
+	srv, err := server.New(server.Config{Index: ix, MaxConcurrent: *maxConc, MaxLength: *maxLen, CacheSize: *cache})
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", *addr)
+		done <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-done:
+		fatal(err) // bind failure or similar; ListenAndServe never returns nil here
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (draining up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		fatal(fmt.Errorf("shutdown: %w", err))
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	log.Printf("bye")
+}
+
+// openIndex loads a snapshot or builds the index from a graph file.
+func openIndex(snapshot, input string, sigma int) (*skinnymine.Index, error) {
+	if snapshot != "" {
+		f, err := os.Open(snapshot)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		ix, err := skinnymine.LoadIndex(f)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("loaded snapshot %s", snapshot)
+		return ix, nil
+	}
+	f, err := os.Open(input)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	graphs, err := skinnymine.ReadGraphs(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("no graphs in %s", input)
+	}
+	return skinnymine.BuildIndex(graphs, sigma)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "skinnymined:", err)
+	os.Exit(1)
+}

@@ -36,36 +36,55 @@ func (p *Pattern) ToJSON() PatternJSON {
 	}
 }
 
-// ResultJSON is the serialized form of a mining result.
+// ResultJSON is the serialized form of a mining result — the wire format
+// both the CLI's -json output and the serving daemon's /v1/mine
+// responses use.
 type ResultJSON struct {
 	Patterns []PatternJSON `json:"patterns"`
 	Stats    StatsJSON     `json:"stats"`
 }
 
-// StatsJSON carries the headline mining statistics.
+// StatsJSON carries the full core.Stats search counters plus the stage
+// timings. Timings are wall-clock and vary run to run; every counter is
+// deterministic for a given request and worker count.
 type StatsJSON struct {
-	DiamMineMillis  float64 `json:"diammine_ms"`
-	LevelGrowMillis float64 `json:"levelgrow_ms"`
-	PathsMined      int     `json:"paths_mined"`
-	Generated       int     `json:"generated"`
-	Duplicates      int     `json:"duplicates"`
+	DiamMineMillis    float64 `json:"diammine_ms"`
+	LevelGrowMillis   float64 `json:"levelgrow_ms"`
+	PathsMined        int     `json:"paths_mined"`
+	ExtensionsTried   int     `json:"extensions_tried"`
+	Generated         int     `json:"generated"`
+	Duplicates        int     `json:"duplicates"`
+	ConstraintRejects [3]int  `json:"constraint_rejects"`
+	FrequencyRejects  int     `json:"frequency_rejects"`
+	CheckMismatches   int     `json:"check_mismatches"`
+	OutputInvalid     int     `json:"output_invalid"`
 }
 
-// WriteJSON serializes the result as indented JSON.
-func (r *Result) WriteJSON(w io.Writer) error {
+// ToJSON converts the result into its serializable form.
+func (r *Result) ToJSON() ResultJSON {
 	out := ResultJSON{
 		Stats: StatsJSON{
-			DiamMineMillis:  float64(r.Stats.DiamMineTime.Microseconds()) / 1000,
-			LevelGrowMillis: float64(r.Stats.LevelGrowTime.Microseconds()) / 1000,
-			PathsMined:      r.Stats.PathsMined,
-			Generated:       r.Stats.Generated,
-			Duplicates:      r.Stats.Duplicates,
+			DiamMineMillis:    float64(r.Stats.DiamMineTime.Microseconds()) / 1000,
+			LevelGrowMillis:   float64(r.Stats.LevelGrowTime.Microseconds()) / 1000,
+			PathsMined:        r.Stats.PathsMined,
+			ExtensionsTried:   r.Stats.ExtensionsTried,
+			Generated:         r.Stats.Generated,
+			Duplicates:        r.Stats.Duplicates,
+			ConstraintRejects: r.Stats.ConstraintRejects,
+			FrequencyRejects:  r.Stats.FrequencyRejects,
+			CheckMismatches:   r.Stats.CheckMismatches,
+			OutputInvalid:     r.Stats.OutputInvalid,
 		},
 	}
 	for _, p := range r.Patterns {
 		out.Patterns = append(out.Patterns, p.ToJSON())
 	}
+	return out
+}
+
+// WriteJSON serializes the result as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(r.ToJSON())
 }

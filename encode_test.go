@@ -40,6 +40,50 @@ func TestWriteJSONRoundtrip(t *testing.T) {
 	}
 }
 
+// TestStatsJSONCarriesAllCounters checks the wire form exposes every
+// core.Stats search counter under stable field names.
+func TestStatsJSONCarriesAllCounters(t *testing.T) {
+	g := buildTrajectoryGraph(t)
+	res, err := Mine(g, Options{Support: 2, Length: 4, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.ToJSON()
+	if out.Stats.PathsMined != res.Stats.PathsMined ||
+		out.Stats.ExtensionsTried != res.Stats.ExtensionsTried ||
+		out.Stats.Generated != res.Stats.Generated ||
+		out.Stats.Duplicates != res.Stats.Duplicates ||
+		out.Stats.ConstraintRejects != res.Stats.ConstraintRejects ||
+		out.Stats.FrequencyRejects != res.Stats.FrequencyRejects ||
+		out.Stats.CheckMismatches != res.Stats.CheckMismatches ||
+		out.Stats.OutputInvalid != res.Stats.OutputInvalid {
+		t.Errorf("StatsJSON %+v does not mirror core.Stats %+v", out.Stats, res.Stats)
+	}
+	if out.Stats.ExtensionsTried == 0 {
+		t.Error("mining should have tried extensions")
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Stats map[string]json.RawMessage `json:"stats"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"diammine_ms", "levelgrow_ms", "paths_mined", "extensions_tried",
+		"generated", "duplicates", "constraint_rejects", "frequency_rejects",
+		"check_mismatches", "output_invalid",
+	} {
+		if _, ok := doc.Stats[key]; !ok {
+			t.Errorf("stats JSON is missing field %q", key)
+		}
+	}
+}
+
 func TestPatternToJSONLabels(t *testing.T) {
 	g := NewGraph()
 	a := g.AddVertex("alpha")

@@ -132,7 +132,16 @@ type DiamMiner struct {
 	graphs      []*graph.Graph
 	support     int
 	concurrency int
-	levels      map[int][]*PathPattern // key: length (powers of two and served l)
+
+	mu     sync.RWMutex           // guards levels; materialization runs under the write lock
+	levels map[int][]*PathPattern // key: length (powers of two and served l)
+
+	// materialized mirrors the level-cache keys under its own tiny
+	// lock, so liveness probes (MaterializedLengths) answer instantly
+	// instead of queueing behind an in-progress materialization
+	// holding mu for the full Stage I cost.
+	matMu        sync.Mutex
+	materialized map[int]struct{}
 }
 
 // NewDiamMiner returns a miner over the given graphs with threshold σ.
@@ -144,20 +153,41 @@ func NewDiamMiner(graphs []*graph.Graph, support int) (*DiamMiner, error) {
 		return nil, fmt.Errorf("core: support threshold must be >= 1, got %d", support)
 	}
 	return &DiamMiner{
-		graphs:      graphs,
-		support:     support,
-		concurrency: 1,
-		levels:      make(map[int][]*PathPattern),
+		graphs:       graphs,
+		support:      support,
+		concurrency:  1,
+		levels:       make(map[int][]*PathPattern),
+		materialized: make(map[int]struct{}),
 	}, nil
+}
+
+// storeLevel records a freshly materialized (or restored) level.
+// Callers mutating a live miner hold mu.
+func (m *DiamMiner) storeLevel(l int, ps []*PathPattern) {
+	m.levels[l] = ps
+	m.matMu.Lock()
+	m.materialized[l] = struct{}{}
+	m.matMu.Unlock()
+}
+
+// MaterializedLengths returns the path lengths whose level is cached,
+// ascending. It never blocks on materialization in progress.
+func (m *DiamMiner) MaterializedLengths() []int {
+	m.matMu.Lock()
+	defer m.matMu.Unlock()
+	out := make([]int, 0, len(m.materialized))
+	for l := range m.materialized {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // SetConcurrency bounds the worker pool used by concat and merge joins
 // (<= 0 means one worker per available CPU, matching the Options
 // convention). Mined results are identical at every setting; only
 // wall-clock time changes. Call it before serving, not concurrently
-// with Mine: cache-miss materialization mutates the level cache, so
-// only cache-hit Mine calls are safe to run in parallel with each
-// other (unchanged from the sequential miner).
+// with Mine.
 func (m *DiamMiner) SetConcurrency(n int) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
@@ -166,7 +196,11 @@ func (m *DiamMiner) SetConcurrency(n int) {
 }
 
 // Mine returns all frequent simple paths of length exactly l, sorted by
-// canonical label sequence. Results are cached per length.
+// canonical label sequence. Results are cached per length. Mine is safe
+// for concurrent callers: cache hits share a read lock, while a miss
+// materializes the level under the write lock (internally parallel
+// across the worker budget), so a long-running serving process can fan
+// requests for arbitrary lengths at one shared miner.
 func (m *DiamMiner) Mine(l int) ([]*PathPattern, error) {
 	return m.mine(l, m.concurrency)
 }
@@ -177,7 +211,15 @@ func (m *DiamMiner) mine(l, workers int) ([]*PathPattern, error) {
 	if l < 1 {
 		return nil, fmt.Errorf("core: path length must be >= 1, got %d", l)
 	}
-	if got, ok := m.levels[l]; ok {
+	m.mu.RLock()
+	got, ok := m.levels[l]
+	m.mu.RUnlock()
+	if ok {
+		return got, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if got, ok := m.levels[l]; ok { // lost the materialization race
 		return got, nil
 	}
 	// Powers of two up to l.
@@ -192,7 +234,7 @@ func (m *DiamMiner) mine(l, workers int) ([]*PathPattern, error) {
 		return m.levels[l], nil
 	}
 	merged := m.merge(m.levels[k], l, k, workers)
-	m.levels[l] = merged
+	m.storeLevel(l, merged)
 	return merged, nil
 }
 
@@ -216,13 +258,13 @@ func (m *DiamMiner) MaxFrequentLength(limit int) (int, error) {
 // ensurePowers fills m.levels for lengths 1, 2, 4, ..., upto.
 func (m *DiamMiner) ensurePowers(upto, workers int) error {
 	if _, ok := m.levels[1]; !ok {
-		m.levels[1] = m.frequentEdges()
+		m.storeLevel(1, m.frequentEdges())
 	}
 	for l := 2; l <= upto; l *= 2 {
 		if _, ok := m.levels[l]; ok {
 			continue
 		}
-		m.levels[l] = m.concat(m.levels[l/2], workers)
+		m.storeLevel(l, m.concat(m.levels[l/2], workers))
 	}
 	return nil
 }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"skinnymine/internal/graph"
+)
+
+// IndexState is the serializable content of a DirectIndex: everything a
+// snapshot must persist so a restored index answers requests exactly
+// like the one it was taken from. Levels holds only the materialized
+// path levels; missing levels are recomputed on demand from the graphs,
+// so a partial snapshot is still a fully functional index.
+type IndexState struct {
+	Graphs []*graph.Graph
+	Sigma  int
+	Levels map[int][]*PathPattern
+}
+
+// State exports the index content for serialization. The graphs and
+// patterns are shared, not copied: callers must treat them as
+// read-only. The level map itself is copied under the miner's lock, so
+// State may run concurrently with Mine requests — but a cache-miss
+// materialization holds that lock for its full Stage I cost, so State
+// waits for it to finish and then includes the new level.
+func (ix *DirectIndex) State() IndexState {
+	ix.dm.mu.RLock()
+	defer ix.dm.mu.RUnlock()
+	levels := make(map[int][]*PathPattern, len(ix.dm.levels))
+	for l, ps := range ix.dm.levels {
+		levels[l] = ps
+	}
+	return IndexState{Graphs: ix.dm.graphs, Sigma: ix.dm.support, Levels: levels}
+}
+
+// Sigma returns the frequency threshold σ the index was built with.
+func (ix *DirectIndex) Sigma() int { return ix.dm.support }
+
+// NumGraphs returns the number of database graphs behind the index.
+func (ix *DirectIndex) NumGraphs() int { return len(ix.dm.graphs) }
+
+// MaterializedLevels returns the path lengths whose frequent-path level
+// is currently cached, in ascending order. It never blocks behind a
+// materialization in progress, so liveness probes can call it freely.
+func (ix *DirectIndex) MaterializedLevels() []int {
+	return ix.dm.MaterializedLengths()
+}
+
+// RestoreIndex rebuilds a DirectIndex from exported state, validating
+// that every pattern is internally consistent with the graph database
+// (sequence lengths, graph IDs and vertex IDs in range). It is the
+// inverse of State and the entry point snapshot loading goes through.
+func RestoreIndex(st IndexState) (*DirectIndex, error) {
+	dm, err := NewDiamMiner(st.Graphs, st.Sigma)
+	if err != nil {
+		return nil, err
+	}
+	for l, ps := range st.Levels {
+		if l < 1 {
+			return nil, fmt.Errorf("core: restored level %d out of range", l)
+		}
+		for _, p := range ps {
+			if len(p.Seq) != l+1 {
+				return nil, fmt.Errorf("core: level %d pattern has %d labels, want %d", l, len(p.Seq), l+1)
+			}
+			for _, e := range p.Embs {
+				if int(e.GID) < 0 || int(e.GID) >= len(st.Graphs) {
+					return nil, fmt.Errorf("core: level %d embedding references graph %d of %d", l, e.GID, len(st.Graphs))
+				}
+				g := st.Graphs[e.GID]
+				if len(e.Seq) != l+1 {
+					return nil, fmt.Errorf("core: level %d embedding has %d vertices, want %d", l, len(e.Seq), l+1)
+				}
+				for _, v := range e.Seq {
+					if int(v) < 0 || int(v) >= g.N() {
+						return nil, fmt.Errorf("core: level %d embedding vertex %d out of range for graph %d", l, v, e.GID)
+					}
+				}
+			}
+		}
+		dm.storeLevel(l, ps)
+	}
+	return &DirectIndex{dm: dm}, nil
+}

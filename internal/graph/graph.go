@@ -227,3 +227,7 @@ func (t *LabelTable) Name(l Label) string {
 
 // Len returns the number of interned labels.
 func (t *LabelTable) Len() int { return len(t.names) }
+
+// Names returns the interned label strings indexed by Label value.
+// Callers must not modify the returned slice.
+func (t *LabelTable) Names() []string { return t.names }

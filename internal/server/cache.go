@@ -1,0 +1,120 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// lruCache is a fixed-capacity LRU over serialized response bodies.
+// Values are the canonical JSON bytes a request produced, so a hit
+// replays the exact body the first caller saw.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached body for key, promoting it to most recent.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// put inserts or refreshes key, evicting the least recent entry when
+// over capacity.
+func (c *lruCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, body: body})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flightGroup coalesces concurrent calls that share a key: the first
+// caller runs fn, every caller that arrives while it is in flight waits
+// for and shares the same result (the singleflight pattern, implemented
+// locally because the module deliberately has no dependencies).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	waiters atomic.Int64 // callers parked on done; observed by tests
+	body    []byte
+	err     error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn under key, returning its result and whether this caller
+// shared another caller's in-flight run. The call is always
+// deregistered and its waiters released, even when fn panics (waiters
+// then see an error while the panic propagates to the leader's
+// recovery handler).
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) (body []byte, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.waiters.Add(1)
+		<-c.done
+		return c.body, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("server: in-flight run panicked: %v", r)
+			close(c.done)
+			panic(r)
+		}
+		close(c.done)
+	}()
+	c.body, c.err = fn()
+	return c.body, c.err, false
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the daemon's expvar-style counter set, served as JSON from
+// GET /metrics. All counters are atomics so handlers never serialize on
+// a stats lock; the latency maximum is the one field that needs a CAS
+// loop.
+type metrics struct {
+	start time.Time
+
+	requests struct {
+		mine      atomic.Int64
+		backbones atomic.Int64
+		healthz   atomic.Int64
+		metrics   atomic.Int64
+	}
+
+	mine struct {
+		cacheHits   atomic.Int64
+		cacheMisses atomic.Int64
+		coalesced   atomic.Int64
+		runs        atomic.Int64
+		errors      atomic.Int64
+		inFlight    atomic.Int64
+		latCount    atomic.Int64
+		latSumUs    atomic.Int64
+		latMaxUs    atomic.Int64
+	}
+}
+
+func newMetrics() *metrics { return &metrics{start: time.Now()} }
+
+// observeMine records one mining run's wall-clock latency.
+func (m *metrics) observeMine(d time.Duration) {
+	us := d.Microseconds()
+	m.mine.latCount.Add(1)
+	m.mine.latSumUs.Add(us)
+	for {
+		cur := m.mine.latMaxUs.Load()
+		if us <= cur || m.mine.latMaxUs.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// MetricsSnapshot is the JSON document GET /metrics returns.
+type MetricsSnapshot struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Requests      map[string]int64 `json:"requests_total"`
+	Mine          MineMetrics      `json:"mine"`
+}
+
+// MineMetrics is the /v1/mine section of the metrics document.
+type MineMetrics struct {
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Coalesced    int64   `json:"coalesced"`
+	Runs         int64   `json:"runs"`
+	Errors       int64   `json:"errors"`
+	InFlight     int64   `json:"in_flight"`
+	LatencyCount int64   `json:"latency_count"`
+	LatencyAvgMs float64 `json:"latency_avg_ms"`
+	LatencyMaxMs float64 `json:"latency_max_ms"`
+}
+
+func (m *metrics) snapshot() MetricsSnapshot {
+	hits, misses := m.mine.cacheHits.Load(), m.mine.cacheMisses.Load()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	latCount := m.mine.latCount.Load()
+	avg := 0.0
+	if latCount > 0 {
+		avg = float64(m.mine.latSumUs.Load()) / float64(latCount) / 1000
+	}
+	return MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests: map[string]int64{
+			"mine":      m.requests.mine.Load(),
+			"backbones": m.requests.backbones.Load(),
+			"healthz":   m.requests.healthz.Load(),
+			"metrics":   m.requests.metrics.Load(),
+		},
+		Mine: MineMetrics{
+			CacheHits:    hits,
+			CacheMisses:  misses,
+			CacheHitRate: rate,
+			Coalesced:    m.mine.coalesced.Load(),
+			Runs:         m.mine.runs.Load(),
+			Errors:       m.mine.errors.Load(),
+			InFlight:     m.mine.inFlight.Load(),
+			LatencyCount: latCount,
+			LatencyAvgMs: avg,
+			LatencyMaxMs: float64(m.mine.latMaxUs.Load()) / 1000,
+		},
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.metrics.Add(1)
+	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+}
+
+// marshalIndented serializes v with a trailing newline, matching the
+// CLI's encoder so bodies diff cleanly against -json output.
+func marshalIndented(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// writeJSON serializes v directly onto the response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := marshalIndented(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// errorJSON is the uniform 4xx/5xx body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorJSON{Error: msg})
+}

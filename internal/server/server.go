@@ -1,0 +1,369 @@
+// Package server is the HTTP serving layer of the direct mining
+// deployment (Figure 2 of the paper): one pre-computed DirectIndex,
+// shared by every request, behind a small JSON API.
+//
+//	POST /v1/mine       Options JSON in, ResultJSON out
+//	GET  /v1/backbones  ?l=N — Stage I minimal patterns for length N
+//	GET  /healthz       liveness + index summary
+//	GET  /metrics       request counters, latencies, cache hit rate
+//
+// Mining requests pass through three throughput guards: an LRU cache of
+// serialized responses keyed by canonicalized options, singleflight
+// coalescing so identical concurrent requests share one mining run, and
+// a bounded-concurrency admission gate protecting the process from
+// unbounded parallel Stage II growth.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"skinnymine"
+)
+
+// maxBodyBytes bounds a /v1/mine request body; options JSON is tiny.
+const maxBodyBytes = 1 << 20
+
+// errAdmissionCanceled marks a mining run abandoned because the
+// request driving it was canceled while queued at the admission gate.
+var errAdmissionCanceled = errors.New("canceled while queued for admission")
+
+// Config configures a Server.
+type Config struct {
+	// Index is the pre-computed index every request is served from.
+	Index *skinnymine.Index
+	// MaxConcurrent bounds how many mining runs may execute at once
+	// (the admission gate). 0 means twice the available CPUs.
+	MaxConcurrent int
+	// CacheSize is the LRU result cache capacity in entries. 0 means
+	// 256; negative disables caching.
+	CacheSize int
+	// MaxLength caps the diameter length a request may ask for. Every
+	// served length grows the index's level cache permanently and the
+	// mining cost grows steeply with l, so an unbounded wire value
+	// would let one request exhaust the process. 0 means 64.
+	MaxLength int
+}
+
+// Server serves mining requests over HTTP. Create one with New and
+// mount Handler on an http.Server.
+type Server struct {
+	ix      *skinnymine.Index
+	maxLen  int
+	sem     chan struct{}
+	cache   *lruCache // nil when caching is disabled
+	flights *flightGroup
+	metrics *metrics
+
+	// mineFn runs one mining request; tests substitute it to observe
+	// coalescing and gate behavior deterministically.
+	mineFn func(skinnymine.Options) (*skinnymine.Result, error)
+}
+
+// New returns a Server over the index.
+func New(cfg Config) (*Server, error) {
+	if cfg.Index == nil {
+		return nil, fmt.Errorf("server: Config.Index is required")
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxLength <= 0 {
+		cfg.MaxLength = 64
+	}
+	// Backbones materialization runs at the index's own concurrency
+	// (Mine requests carry their own); default it to the machine.
+	cfg.Index.SetConcurrency(0)
+	s := &Server{
+		ix:      cfg.Index,
+		maxLen:  cfg.MaxLength,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		flights: newFlightGroup(),
+		metrics: newMetrics(),
+		mineFn:  cfg.Index.Mine,
+	}
+	switch {
+	case cfg.CacheSize == 0:
+		s.cache = newLRUCache(256)
+	case cfg.CacheSize > 0:
+		s.cache = newLRUCache(cfg.CacheSize)
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/mine", s.handleMine)
+	mux.HandleFunc("GET /v1/backbones", s.handleBackbones)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// MineRequest is the wire form of skinnymine.Options. Field names
+// follow the CLI flags; Support may be omitted (0) to default to the
+// index's σ.
+type MineRequest struct {
+	Support     int    `json:"support,omitempty"`
+	Length      int    `json:"length"`
+	MinLength   int    `json:"min_length,omitempty"`
+	Delta       int    `json:"delta"`
+	Measure     string `json:"measure,omitempty"` // "embeddings" (default) or "graphs"
+	MaximalOnly bool   `json:"maximal_only,omitempty"`
+	ClosedOnly  bool   `json:"closed_only,omitempty"`
+	MaxPatterns int    `json:"max_patterns,omitempty"`
+	Concurrency int    `json:"concurrency,omitempty"`
+}
+
+// toOptions validates the request and lowers it onto the library
+// options, resolving defaults against the index.
+func (s *Server) toOptions(req *MineRequest) (skinnymine.Options, error) {
+	var zero skinnymine.Options
+	if req.Support == 0 {
+		req.Support = s.ix.Sigma()
+	}
+	if req.Support != s.ix.Sigma() {
+		return zero, fmt.Errorf("support %d does not match the index σ=%d", req.Support, s.ix.Sigma())
+	}
+	if req.Length < 1 {
+		return zero, fmt.Errorf("length must be >= 1, got %d", req.Length)
+	}
+	if req.Length > s.maxLen {
+		return zero, fmt.Errorf("length %d exceeds this server's limit of %d", req.Length, s.maxLen)
+	}
+	if req.MinLength < 0 || (req.MinLength > 0 && req.MinLength > req.Length) {
+		return zero, fmt.Errorf("min_length %d out of range for length %d", req.MinLength, req.Length)
+	}
+	if req.Delta < 0 {
+		req.Delta = -1 // every negative value means unbounded; canonicalize
+	}
+	// Clamp the worker count: core only caps workers at the work-item
+	// count, so an unbounded wire value could fan one admitted request
+	// into millions of goroutines. Negative means "one per CPU" (0),
+	// which also keeps the cache key canonical.
+	if req.Concurrency < 0 {
+		req.Concurrency = 0
+	}
+	if max := 4 * runtime.GOMAXPROCS(0); req.Concurrency > max {
+		req.Concurrency = max
+	}
+	opt := skinnymine.Options{
+		Support:     req.Support,
+		Length:      req.Length,
+		MinLength:   req.MinLength,
+		Delta:       req.Delta,
+		MaximalOnly: req.MaximalOnly,
+		ClosedOnly:  req.ClosedOnly,
+		MaxPatterns: req.MaxPatterns,
+		Concurrency: req.Concurrency,
+	}
+	switch strings.ToLower(req.Measure) {
+	case "", "embeddings":
+		opt.Measure = skinnymine.EmbeddingCount
+		req.Measure = "embeddings"
+	case "graphs":
+		opt.Measure = skinnymine.GraphCount
+		req.Measure = "graphs"
+	default:
+		return zero, fmt.Errorf("measure %q is not \"embeddings\" or \"graphs\"", req.Measure)
+	}
+	return opt, nil
+}
+
+// cacheKey canonicalizes the (already default-resolved) request into
+// the cache and coalescing key. Concurrency is excluded unless
+// max_patterns is set: output is byte-identical at every worker count,
+// except under a pattern budget where which patterns win the race may
+// depend on scheduling — there, differently-concurrent requests must
+// not share a cache entry.
+func cacheKey(req *MineRequest) string {
+	conc := 0
+	if req.MaxPatterns > 0 {
+		conc = req.Concurrency
+	}
+	return fmt.Sprintf("s=%d l=%d ml=%d d=%d m=%s max=%v cl=%v mp=%d c=%d",
+		req.Support, req.Length, req.MinLength, req.Delta, req.Measure,
+		req.MaximalOnly, req.ClosedOnly, req.MaxPatterns, conc)
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.mine.Add(1)
+	var req MineRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	opt, err := s.toOptions(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.serveCached(w, r, cacheKey(&req), true, func() ([]byte, error) {
+		s.metrics.mine.inFlight.Add(1)
+		defer s.metrics.mine.inFlight.Add(-1)
+		s.metrics.mine.runs.Add(1)
+		t0 := time.Now()
+		res, err := s.mineFn(opt)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.observeMine(time.Since(t0))
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+// serveCached runs the three throughput guards around produce: the LRU
+// response cache under key, singleflight coalescing of identical
+// concurrent requests, and the bounded-concurrency admission gate.
+// produce runs with an admission slot held and returns the response
+// body, which is cached on success. trackMine folds cache and error
+// counts into the /metrics mine section (the mining endpoint's
+// bookkeeping; other endpoints only ride the guards).
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, trackMine bool, produce func() ([]byte, error)) {
+	if s.cache != nil {
+		if body, ok := s.cache.get(key); ok {
+			if trackMine {
+				s.metrics.mine.cacheHits.Add(1)
+			}
+			writeBody(w, body, "hit")
+			return
+		}
+		if trackMine {
+			s.metrics.mine.cacheMisses.Add(1)
+		}
+	}
+
+	run := func() ([]byte, error) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-r.Context().Done():
+			return nil, fmt.Errorf("%w: %v", errAdmissionCanceled, r.Context().Err())
+		}
+		defer func() { <-s.sem }()
+		body, err := produce()
+		if err != nil {
+			return nil, err
+		}
+		if s.cache != nil {
+			s.cache.put(key, body)
+		}
+		return body, nil
+	}
+	var (
+		body   []byte
+		err    error
+		shared bool
+	)
+	for {
+		body, err, shared = s.flights.do(key, run)
+		// A shared admission-cancel error is the leader's client
+		// vanishing, not ours: retry with this request as the leader.
+		if shared && errors.Is(err, errAdmissionCanceled) && r.Context().Err() == nil {
+			continue
+		}
+		break
+	}
+	if shared && trackMine {
+		s.metrics.mine.coalesced.Add(1)
+	}
+	if err != nil {
+		if trackMine {
+			s.metrics.mine.errors.Add(1)
+		}
+		// Input was validated before produce, so a failed run is the
+		// server's problem: 503 for admission cancellation, 500 otherwise.
+		status := http.StatusInternalServerError
+		if errors.Is(err, errAdmissionCanceled) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	source := "miss"
+	if shared {
+		source = "coalesced"
+	}
+	writeBody(w, body, source)
+}
+
+// writeBody emits a pre-serialized ResultJSON, tagging where it came
+// from so clients and tests can distinguish cache hits.
+func writeBody(w http.ResponseWriter, body []byte, source string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Result-Source", source)
+	w.Write(body)
+}
+
+// BackbonesResponse is the /v1/backbones payload: the Stage I minimal
+// patterns (frequent l-paths) as label sequences.
+type BackbonesResponse struct {
+	L         int        `json:"l"`
+	Count     int        `json:"count"`
+	Backbones [][]string `json:"backbones"`
+}
+
+func (s *Server) handleBackbones(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.backbones.Add(1)
+	raw := r.URL.Query().Get("l")
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing query parameter l")
+		return
+	}
+	l, err := strconv.Atoi(raw)
+	if err != nil || l < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("l must be a positive integer, got %q", raw))
+		return
+	}
+	if l > s.maxLen {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("l %d exceeds this server's limit of %d", l, s.maxLen))
+		return
+	}
+	// A cache-miss backbones request materializes a Stage I level —
+	// real mining work — so it rides the same guards as /v1/mine.
+	s.serveCached(w, r, fmt.Sprintf("backbones l=%d", l), false, func() ([]byte, error) {
+		bbs, err := s.ix.MinimalBackbones(l)
+		if err != nil {
+			return nil, err
+		}
+		if bbs == nil {
+			bbs = [][]string{}
+		}
+		return marshalIndented(BackbonesResponse{L: l, Count: len(bbs), Backbones: bbs})
+	})
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status             string `json:"status"`
+	Graphs             int    `json:"graphs"`
+	Sigma              int    `json:"sigma"`
+	MaterializedLevels []int  `json:"materialized_levels"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.healthz.Add(1)
+	levels := s.ix.MaterializedLevels()
+	if levels == nil {
+		levels = []int{}
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:             "ok",
+		Graphs:             s.ix.NumGraphs(),
+		Sigma:              s.ix.Sigma(),
+		MaterializedLevels: levels,
+	})
+}

@@ -1,0 +1,152 @@
+package skinnymine
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestReadGraphsMultiGraphRoundTrip writes a three-graph database with
+// Graph.Write and reads it back with ReadGraphs, checking structure,
+// labels, and that the parsed graphs share one vocabulary.
+func TestReadGraphsMultiGraphRoundTrip(t *testing.T) {
+	c := NewCorpus()
+	var db []*Graph
+	for gi := 0; gi < 3; gi++ {
+		g := c.NewGraph()
+		n := 3 + gi
+		var ids []VertexID
+		for v := 0; v < n; v++ {
+			// Numeric label names so the text format (integer labels)
+			// round-trips the strings exactly.
+			ids = append(ids, g.AddVertex([]string{"7", "3", "9"}[v%3]))
+		}
+		for v := 1; v < n; v++ {
+			if err := g.AddEdge(ids[v-1], ids[v]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db = append(db, g)
+	}
+	var buf bytes.Buffer
+	for _, g := range db {
+		if err := g.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parsed, err := ReadGraphs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(db) {
+		t.Fatalf("parsed %d graphs, want %d", len(parsed), len(db))
+	}
+	for i, g := range parsed {
+		want := db[i]
+		if g.N() != want.N() || g.M() != want.M() {
+			t.Errorf("graph %d: %d/%d vertices/edges, want %d/%d", i, g.N(), g.M(), want.N(), want.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			// Write emits interned label IDs, so the parsed label is the
+			// decimal ID of the original string label.
+			wantLabel := strconv.Itoa(int(want.g.Label(VertexID(v))))
+			if got := g.Label(VertexID(v)); got != wantLabel {
+				t.Errorf("graph %d vertex %d label %q, want %q", i, v, got, wantLabel)
+			}
+		}
+	}
+	// The parsed database must be mineable as one corpus: shared labels
+	// across graphs count toward transaction support.
+	res, err := MineDB(parsed, Options{Support: 3, Length: 1, Delta: 0, Measure: GraphCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Error("shared edge pattern not found across parsed graphs")
+	}
+}
+
+// TestReadGraphsInternsLabelsOnce checks the label fast path: each
+// distinct numeric label maps to one vocabulary entry, in first-seen
+// order, across graph boundaries.
+func TestReadGraphsInternsLabelsOnce(t *testing.T) {
+	input := `t # 0
+v 0 5
+v 1 3
+v 2 5
+e 0 1
+e 1 2
+t # 1
+v 0 3
+v 1 8
+e 0 1
+`
+	graphs, err := ReadGraphs(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != 2 {
+		t.Fatalf("parsed %d graphs, want 2", len(graphs))
+	}
+	g0, g1 := graphs[0], graphs[1]
+	for v, want := range []string{"5", "3", "5"} {
+		if got := g0.Label(VertexID(v)); got != want {
+			t.Errorf("graph 0 vertex %d label %q, want %q", v, got, want)
+		}
+	}
+	for v, want := range []string{"3", "8"} {
+		if got := g1.Label(VertexID(v)); got != want {
+			t.Errorf("graph 1 vertex %d label %q, want %q", v, got, want)
+		}
+	}
+	// First-seen intern order: 5, 3, 8 — shared across both graphs.
+	if g0.lt != g1.lt {
+		t.Fatal("graphs do not share a label table")
+	}
+	if g0.lt.Len() != 3 {
+		t.Errorf("%d interned labels, want 3", g0.lt.Len())
+	}
+	for i, want := range []string{"5", "3", "8"} {
+		if got := g0.lt.Names()[i]; got != want {
+			t.Errorf("intern slot %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestReadGraphsErrors(t *testing.T) {
+	cases := []struct {
+		name, input, wantErr string
+	}{
+		{"bad vertex id", "v x 1\n", "bad vertex id"},
+		{"out of order vertex id", "v 0 1\nv 2 1\n", "out of order"},
+		{"dangling edge endpoint", "v 0 1\ne 0 7\n", "out of range"},
+		{"edge before vertices", "e 0 1\n", "out of range"},
+		{"missing label", "v 0\n", "vertex needs id and label"},
+		{"unknown record", "q 1 2\n", "unknown record"},
+	}
+	for _, tc := range cases {
+		_, err := ReadGraphs(strings.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestReadGraphsEmptyInput: no records is a valid, empty database —
+// callers decide whether that is an error.
+func TestReadGraphsEmptyInput(t *testing.T) {
+	for _, input := range []string{"", "\n\n", "# only a comment\n"} {
+		graphs, err := ReadGraphs(strings.NewReader(input))
+		if err != nil {
+			t.Errorf("input %q: %v", input, err)
+		}
+		if len(graphs) != 0 {
+			t.Errorf("input %q: parsed %d graphs, want 0", input, len(graphs))
+		}
+	}
+}

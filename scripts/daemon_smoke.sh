@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving subsystem: build the binaries,
+# mine a synthetic graph with the CLI (emitting a snapshot), serve the
+# snapshot with skinnymined, and check that /v1/mine returns the same
+# result the CLI printed, that the request cache hits on a repeat, and
+# that /v1/backbones and /healthz answer. Requires curl and jq.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# Reuse prebuilt binaries (CI sets BIN_DIR after its build step) or
+# build them here.
+if [ -n "${BIN_DIR:-}" ] && [ -x "$BIN_DIR/skinnymined" ] && [ -x "$BIN_DIR/skinnymine" ]; then
+  mkdir -p "$workdir/bin"
+  cp "$BIN_DIR/skinnymine" "$BIN_DIR/skinnymined" "$workdir/bin/"
+else
+  go build -o "$workdir/bin/" ./cmd/...
+fi
+
+# Synthetic database: two copies of a 5-stop route (labels 0-4), each
+# with a label-5 spur, plus a noise edge — the repo's test workload.
+cat > "$workdir/graph.txt" <<'EOF'
+t # 0
+v 0 0
+v 1 1
+v 2 2
+v 3 3
+v 4 4
+v 5 5
+v 6 0
+v 7 1
+v 8 2
+v 9 3
+v 10 4
+v 11 5
+v 12 6
+v 13 7
+e 0 1
+e 1 2
+e 2 3
+e 3 4
+e 2 5
+e 6 7
+e 7 8
+e 8 9
+e 9 10
+e 8 11
+e 12 13
+EOF
+
+echo "== CLI mine + snapshot"
+"$workdir/bin/skinnymine" -input "$workdir/graph.txt" -support 2 -length 4 -delta 1 \
+  -json -snapshot "$workdir/city.idx" > "$workdir/cli.json"
+[ -s "$workdir/city.idx" ] || { echo "FAIL: snapshot not written"; exit 1; }
+
+port=$((20000 + RANDOM % 20000))
+echo "== starting skinnymined from the snapshot on :$port"
+"$workdir/bin/skinnymined" -index "$workdir/city.idx" -addr "127.0.0.1:$port" \
+  > "$workdir/daemon.log" 2>&1 &
+daemon_pid=$!
+
+base="http://127.0.0.1:$port"
+for i in $(seq 1 50); do
+  if curl -sf "$base/healthz" > "$workdir/health.json" 2>/dev/null; then break; fi
+  kill -0 "$daemon_pid" 2>/dev/null || { echo "FAIL: daemon died"; cat "$workdir/daemon.log"; exit 1; }
+  sleep 0.2
+done
+jq -e '.status == "ok" and .graphs == 1 and .sigma == 2' "$workdir/health.json" > /dev/null \
+  || { echo "FAIL: healthz says $(cat "$workdir/health.json")"; exit 1; }
+
+echo "== /v1/mine matches CLI -json output"
+curl -sf "$base/v1/mine" -d '{"length":4,"delta":1}' > "$workdir/served.json"
+# Timings are wall-clock; everything else must be byte-identical.
+norm='del(.stats.diammine_ms, .stats.levelgrow_ms)'
+diff <(jq "$norm" "$workdir/cli.json") <(jq "$norm" "$workdir/served.json") \
+  || { echo "FAIL: served result differs from the CLI's"; exit 1; }
+
+echo "== repeat request hits the cache"
+curl -sf "$base/v1/mine" -d '{"length":4,"delta":1}' > /dev/null
+curl -sf "$base/metrics" > "$workdir/metrics.json"
+jq -e '.mine.cache_hits >= 1 and .mine.runs == 1' "$workdir/metrics.json" > /dev/null \
+  || { echo "FAIL: metrics say $(cat "$workdir/metrics.json")"; exit 1; }
+
+echo "== /v1/backbones serves Stage I patterns"
+curl -sf "$base/v1/backbones?l=4" | jq -e '.count >= 1' > /dev/null \
+  || { echo "FAIL: no backbones served"; exit 1; }
+
+echo "== malformed request is a 4xx"
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/mine" -d '{"length":')
+[ "$code" = 400 ] || { echo "FAIL: malformed request returned $code"; exit 1; }
+
+echo "== graceful shutdown"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "FAIL: daemon exited non-zero"; exit 1; }
+daemon_pid=""
+
+echo "PASS"

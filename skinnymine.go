@@ -33,6 +33,23 @@
 //	res1, _ := ix.Mine(skinnymine.Options{Support: 2, Length: 10, Delta: 2})
 //	res2, _ := ix.Mine(skinnymine.Options{Support: 2, Length: 12, Delta: 3})
 //
+// # Snapshots and serving
+//
+// An Index persists to a versioned binary snapshot and restores without
+// repaying Stage I, so a serving process can pre-compute once and answer
+// requests immediately after every restart:
+//
+//	var buf bytes.Buffer
+//	_ = ix.WriteSnapshot(&buf)               // or a file
+//	ix2, _ := skinnymine.LoadIndex(&buf)     // byte-identical mining results
+//
+// The cmd/skinnymined daemon serves a snapshot (or builds an index from
+// a graph file) over HTTP — POST /v1/mine takes the Options fields as
+// JSON and returns ResultJSON — with an LRU result cache, singleflight
+// request coalescing and a bounded-concurrency admission gate
+// (internal/server). cmd/skinnymine -snapshot emits snapshots from the
+// command line.
+//
 // # Concurrency and determinism
 //
 // Mining is parallel by default: Options.Concurrency bounds a worker
@@ -59,6 +76,7 @@ package skinnymine
 import (
 	"fmt"
 	"io"
+	"strconv"
 
 	"skinnymine/internal/core"
 	"skinnymine/internal/graph"
@@ -321,18 +339,26 @@ func (ix *Index) MinimalBackbones(l int) ([][]string, error) {
 
 // ReadGraphs parses a graph database from the text format (see
 // internal/graph: "t # i" / "v id label" / "e u w" records, integer
-// labels).
+// labels). Each distinct numeric label is formatted and interned once
+// per database — first-seen order, exactly as per-vertex interning
+// would assign — then reused for every later vertex carrying it.
 func ReadGraphs(r io.Reader) ([]*Graph, error) {
 	raw, err := graph.ReadText(r)
 	if err != nil {
 		return nil, err
 	}
 	c := NewCorpus()
+	interned := make(map[graph.Label]graph.Label)
 	out := make([]*Graph, len(raw))
 	for i, g := range raw {
 		wrapped := c.NewGraph()
-		for v := 0; v < g.N(); v++ {
-			wrapped.AddVertex(fmt.Sprintf("%d", g.Label(graph.V(v))))
+		for _, lab := range g.Labels() {
+			cl, ok := interned[lab]
+			if !ok {
+				cl = c.lt.Intern(strconv.Itoa(int(lab)))
+				interned[lab] = cl
+			}
+			wrapped.g.AddVertex(cl)
 		}
 		for _, e := range g.Edges() {
 			wrapped.g.MustAddEdge(e.U, e.W)

@@ -1,0 +1,79 @@
+package skinnymine
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+
+	"skinnymine/internal/core"
+	"skinnymine/internal/indexio"
+)
+
+// WriteSnapshot serializes the index — label vocabulary, graph database,
+// σ, and every frequent-path level materialized so far — in the
+// versioned binary snapshot format of internal/indexio. A process that
+// loads the snapshot with LoadIndex serves requests without repaying any
+// already-materialized Stage I work.
+//
+// Snapshots are canonical: saving, loading and saving again produces
+// byte-identical output. WriteSnapshot is safe to call concurrently
+// with Mine requests — the level map is copied under the index's lock
+// — but a materialization in progress holds that lock for its full
+// Stage I cost, so a concurrent snapshot waits for it and then
+// includes the new level.
+func (ix *Index) WriteSnapshot(w io.Writer) error {
+	return indexio.Save(w, ix.ix.State(), ix.lt)
+}
+
+// WriteSnapshotFile persists the snapshot to path atomically: it writes
+// a temporary file in the destination directory and renames it over the
+// target, so a crash mid-write never clobbers an existing good snapshot.
+func (ix *Index) WriteSnapshotFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".skinnymine-*.idx")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := ix.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadIndex restores an index from a snapshot written by WriteSnapshot.
+// It rejects streams with a bad magic number, an unsupported version, a
+// checksum mismatch, or internally inconsistent content, naming the
+// failure in the returned error.
+func LoadIndex(r io.Reader) (*Index, error) {
+	st, lt, err := indexio.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	cx, err := core.RestoreIndex(st)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: cx, lt: lt}, nil
+}
+
+// Sigma returns the frequency threshold σ the index was built with;
+// Mine requests must use the same value.
+func (ix *Index) Sigma() int { return ix.ix.Sigma() }
+
+// SetConcurrency bounds the worker pool used when MinimalBackbones
+// materializes a level (Mine requests carry their own
+// Options.Concurrency instead). 0 or negative means one worker per
+// available CPU. Call it before serving, not concurrently with
+// requests.
+func (ix *Index) SetConcurrency(n int) { ix.ix.SetConcurrency(n) }
+
+// NumGraphs returns the number of database graphs behind the index.
+func (ix *Index) NumGraphs() int { return ix.ix.NumGraphs() }
+
+// MaterializedLevels returns the path lengths whose frequent-path level
+// is cached (and would be persisted by WriteSnapshot), ascending.
+func (ix *Index) MaterializedLevels() []int { return ix.ix.MaterializedLevels() }

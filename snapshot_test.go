@@ -1,0 +1,166 @@
+package skinnymine
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// resultBytes serializes a result with the wall-clock timing fields
+// zeroed: every other ResultJSON field is deterministic, timings are
+// not, so this is the byte-comparison form.
+func resultBytes(t *testing.T, res *Result) []byte {
+	t.Helper()
+	res.Stats.DiamMineTime = 0
+	res.Stats.LevelGrowTime = 0
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRoundTripMine pins the snapshot contract: an index
+// restored from a snapshot serves byte-identical results to the index
+// it was taken from, sequentially and in parallel.
+func TestSnapshotRoundTripMine(t *testing.T) {
+	g := buildTrajectoryGraph(t)
+	ix, err := BuildIndex([]*Graph{g}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Support: 2, Length: 4, Delta: 1, Concurrency: 1}
+	want, err := ix.Mine(opt) // also materializes levels into the snapshot
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := resultBytes(t, want)
+
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := LoadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, conc := range []int{1, 8} {
+		req := opt
+		req.Concurrency = conc
+		got, err := ix2.Mine(req)
+		if err != nil {
+			t.Fatalf("concurrency %d: %v", conc, err)
+		}
+		if !bytes.Equal(resultBytes(t, got), wantBytes) {
+			t.Errorf("concurrency %d: restored index result differs from original", conc)
+		}
+	}
+}
+
+// TestSnapshotServesUnmaterializedLengths checks a restored index can
+// still mine lengths the snapshot never materialized (Stage I reruns
+// from the persisted graphs).
+func TestSnapshotServesUnmaterializedLengths(t *testing.T) {
+	g := buildTrajectoryGraph(t)
+	ix, err := BuildIndex([]*Graph{g}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Mine(Options{Support: 2, Length: 4, Delta: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ix.Mine(Options{Support: 2, Length: 3, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix2.Mine(Options{Support: 2, Length: 3, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultBytes(t, got), resultBytes(t, want)) {
+		t.Error("unmaterialized length mined differently after restore")
+	}
+}
+
+func TestSnapshotAccessors(t *testing.T) {
+	g := buildTrajectoryGraph(t)
+	ix, err := BuildIndex([]*Graph{g}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Sigma() != 2 || ix.NumGraphs() != 1 {
+		t.Errorf("Sigma=%d NumGraphs=%d, want 2 and 1", ix.Sigma(), ix.NumGraphs())
+	}
+	if got := ix.MaterializedLevels(); len(got) != 0 {
+		t.Errorf("fresh index has materialized levels %v", got)
+	}
+	if _, err := ix.Mine(Options{Support: 2, Length: 4, Delta: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := ix.MaterializedLevels()
+	if len(got) == 0 || got[len(got)-1] != 4 {
+		t.Errorf("materialized levels %v should include 4", got)
+	}
+}
+
+// TestWriteSnapshotFile checks the atomic file helper round-trips and
+// leaves no temp files behind.
+func TestWriteSnapshotFile(t *testing.T) {
+	g := buildTrajectoryGraph(t)
+	ix, err := BuildIndex([]*Graph{g}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "city.idx")
+	if err := ix.WriteSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := LoadIndex(f); err != nil {
+		t.Fatalf("written file does not load: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("%d files in snapshot dir, want just city.idx", len(entries))
+	}
+}
+
+func TestLoadIndexRejectsGarbage(t *testing.T) {
+	if _, err := LoadIndex(bytes.NewReader([]byte("not a snapshot at all"))); err == nil {
+		t.Fatal("garbage should not load")
+	}
+	g := buildTrajectoryGraph(t)
+	ix, err := BuildIndex([]*Graph{g}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := LoadIndex(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated snapshot should not load")
+	}
+	raw[len(raw)-1] ^= 0xFF // corrupt the checksum
+	if _, err := LoadIndex(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted snapshot should not load")
+	}
+}
