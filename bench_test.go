@@ -41,6 +41,7 @@ func benchMineConcurrency(b *testing.B, workers int) {
 	opt := core.DefaultOptions(2, 4, 2)
 	opt.GreedyGrow = true
 	opt.Concurrency = workers
+	b.ReportAllocs() // allocs/op is a tracked metric (scripts/bench_baseline.sh)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Mine(g, opt)

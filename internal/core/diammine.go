@@ -10,11 +10,28 @@
 // (LevelGrow, Algorithm 3) grows each such path, which is the canonical
 // diameter of everything grown from it, level by level while maintaining
 // Loop Invariant 1 through Constraints I–III.
+//
+// # Support measures and result budgets
+//
+// Pattern frequency is counted by one of three measures
+// (support.Measure): EmbeddingCount — distinct embedding subgraphs, the
+// paper's |E[P]| and the default; GraphCount — distinct transaction
+// graphs containing the pattern; MNICount — minimum-image-based support.
+// Options.MaxEmbeddings caps how many embedding maps are *stored* per
+// pattern: Support() (the subgraph count) and GraphCount stay exact past
+// the cap because their key/GID sets are maintained on every Add, while
+// MNI and further growth work from the stored sample. Options.MaxPatterns
+// bounds how many patterns Stage II may generate: every emitted pattern
+// reserves one budget slot after canonical-code dedup, and the cap is
+// applied to the final result only after output validation and closed
+// filtering, so a filtered result is never truncated below the cap while
+// valid patterns sit discarded behind it.
 package core
 
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -29,7 +46,9 @@ type PathEmb struct {
 	Seq graph.Path
 }
 
-// key returns an exact key for the oriented sequence.
+// key returns an exact string key for the oriented sequence. The mining
+// hot path dedups on orientedHash instead; the string form remains for
+// tests and reference implementations.
 func (p PathEmb) key() string {
 	b := make([]byte, 0, 4+len(p.Seq)*4)
 	b = append4(b, p.GID)
@@ -39,8 +58,10 @@ func (p PathEmb) key() string {
 	return string(b)
 }
 
-// subgraphKey returns an orientation-independent key: both orientations
-// of the same path subgraph collide.
+// subgraphKey returns an orientation-independent string key: both
+// orientations of the same path subgraph collide. The mining hot path
+// uses subgraphHash; the string form remains for tests and reference
+// implementations.
 func (p PathEmb) subgraphKey() string {
 	n := len(p.Seq)
 	rev := make(graph.Path, n)
@@ -82,46 +103,92 @@ type PathPattern struct {
 func (p *PathPattern) Length() int { return len(p.Seq) - 1 }
 
 // pathBucket accumulates oriented embeddings for one candidate pattern.
+// Dedup runs on 64-bit hashes with intrusive chains over the embedding
+// slice — seenHead/seenNext dedup exact oriented sequences, subHead/
+// subNext count distinct subgraphs — and every hash hit verifies the
+// full key, so the semantics are those of the former string-keyed maps
+// without materializing a key per embedding.
 type pathBucket struct {
-	seq       []graph.Label
-	embs      []PathEmb
-	seen      map[string]struct{} // exact oriented keys
-	subgraphs map[string]struct{} // orientation-independent keys
+	seq      []graph.Label
+	embs     []PathEmb
+	seenHead map[uint64]int32 // oriented hash -> newest emb index
+	seenNext []int32          // per emb: previous index with same hash
+	subHead  map[uint64]int32 // subgraph hash -> newest representative
+	subNext  []int32          // per emb: previous representative chain
+	nsub     int              // distinct subgraphs (the support)
 }
 
 func newPathBucket(seq []graph.Label) *pathBucket {
 	return &pathBucket{
-		seq:       seq,
-		seen:      make(map[string]struct{}),
-		subgraphs: make(map[string]struct{}),
+		seq:      seq,
+		seenHead: make(map[uint64]int32),
+		subHead:  make(map[uint64]int32),
 	}
 }
 
-func (b *pathBucket) add(e PathEmb) {
-	k := e.key()
-	if _, dup := b.seen[k]; dup {
-		return
+// add records an oriented embedding if it is new. When borrowed is true
+// e.Seq aliases a caller scratch buffer and is copied only if the
+// embedding is actually stored — duplicate candidates allocate nothing.
+func (b *pathBucket) add(e PathEmb, borrowed bool) {
+	h := e.orientedHash()
+	head, dupHash := b.seenHead[h]
+	if dupHash {
+		for i := head; i >= 0; i = b.seenNext[i] {
+			if pathEmbEqual(b.embs[i], e) {
+				return
+			}
+		}
 	}
-	b.seen[k] = struct{}{}
-	b.subgraphs[e.subgraphKey()] = struct{}{}
+	if borrowed {
+		e.Seq = append(graph.Path(nil), e.Seq...)
+	}
+	idx := int32(len(b.embs))
 	b.embs = append(b.embs, e)
+	if dupHash {
+		b.seenNext = append(b.seenNext, head)
+	} else {
+		b.seenNext = append(b.seenNext, -1)
+	}
+	b.seenHead[h] = idx
+
+	b.subNext = append(b.subNext, -1)
+	sh := e.subgraphHash()
+	if shead, ok := b.subHead[sh]; ok {
+		for i := shead; i >= 0; i = b.subNext[i] {
+			if sameSubgraph(b.embs[i], e) {
+				return // subgraph already counted
+			}
+		}
+		b.subNext[idx] = shead
+	}
+	b.subHead[sh] = idx
+	b.nsub++
 }
 
-// merge folds another worker's bucket for the same pattern into b,
-// reusing the other bucket's already-materialized subgraph keys
-// instead of re-deriving them per embedding.
+// merge folds another worker's bucket for the same pattern into b. The
+// other bucket's embeddings are already owned copies, so no cloning.
 func (b *pathBucket) merge(o *pathBucket) {
 	for _, e := range o.embs {
-		k := e.key()
-		if _, dup := b.seen[k]; dup {
-			continue
-		}
-		b.seen[k] = struct{}{}
-		b.embs = append(b.embs, e)
+		b.add(e, false)
 	}
-	for k := range o.subgraphs {
-		b.subgraphs[k] = struct{}{}
-	}
+}
+
+// bucketMap indexes candidate buckets by the 64-bit hash of their
+// canonical label sequence; the short slice is the collision chain,
+// resolved by exact sequence comparison.
+type bucketMap map[uint64][]*pathBucket
+
+// joinScratch is the per-worker reusable state of the Stage I joins: the
+// stamped vertex set replacing the per-join map, plus label and
+// combined-path buffers the join body fills in place.
+type joinScratch struct {
+	inA    *stampSet
+	labels []graph.Label
+	comb   graph.Path
+}
+
+func (m *DiamMiner) newJoinScratch() *joinScratch {
+	return &joinScratch{inA: newStampSet(m.maxN)}
 }
 
 // DiamMiner mines frequent simple paths (Algorithm 2) over one or more
@@ -132,6 +199,7 @@ type DiamMiner struct {
 	graphs      []*graph.Graph
 	support     int
 	concurrency int
+	maxN        int // largest vertex count across graphs; sizes stamp sets
 
 	mu     sync.RWMutex           // guards levels; materialization runs under the write lock
 	levels map[int][]*PathPattern // key: length (powers of two and served l)
@@ -152,10 +220,17 @@ func NewDiamMiner(graphs []*graph.Graph, support int) (*DiamMiner, error) {
 	if support < 1 {
 		return nil, fmt.Errorf("core: support threshold must be >= 1, got %d", support)
 	}
+	maxN := 0
+	for _, g := range graphs {
+		if g.N() > maxN {
+			maxN = g.N()
+		}
+	}
 	return &DiamMiner{
 		graphs:       graphs,
 		support:      support,
 		concurrency:  1,
+		maxN:         maxN,
 		levels:       make(map[int][]*PathPattern),
 		materialized: make(map[int]struct{}),
 	}, nil
@@ -271,19 +346,14 @@ func (m *DiamMiner) ensurePowers(upto, workers int) error {
 
 // frequentEdges mines all frequent paths of length 1.
 func (m *DiamMiner) frequentEdges() []*PathPattern {
-	buckets := make(map[string]*pathBucket)
+	buckets := make(bucketMap)
+	sc := m.newJoinScratch()
 	for gi, g := range m.graphs {
 		gid := int32(gi)
 		for _, e := range g.Edges() {
 			for _, or := range [2][2]graph.V{{e.U, e.W}, {e.W, e.U}} {
-				seq := []graph.Label{g.Label(or[0]), g.Label(or[1])}
-				key := graph.LabelSeqKey(graph.CanonicalLabelSeq(seq))
-				b, ok := buckets[key]
-				if !ok {
-					b = newPathBucket(graph.CanonicalLabelSeq(seq))
-					buckets[key] = b
-				}
-				b.add(PathEmb{GID: gid, Seq: graph.Path{or[0], or[1]}})
+				sc.comb = append(sc.comb[:0], or[0], or[1])
+				m.bucketAdd(buckets, sc, PathEmb{GID: gid, Seq: sc.comb})
 			}
 		}
 	}
@@ -308,42 +378,42 @@ func flattenEmbs(pool []*PathPattern) []PathEmb {
 // bucketing candidates. Sequentially it iterates the pool in place;
 // with two or more workers it flattens the embeddings into a shared
 // work list and fans chunks across parBuckets. join receives a
-// worker-private bucket map and a reusable scratch set it must clear.
+// worker-private bucket map and that worker's reusable scratch state.
 func (m *DiamMiner) joinBuckets(pool []*PathPattern, workers int,
-	join func(a PathEmb, buckets map[string]*pathBucket, inA map[graph.V]struct{})) map[string]*pathBucket {
+	join func(a PathEmb, buckets bucketMap, sc *joinScratch)) bucketMap {
 	if workers < 2 {
-		buckets := make(map[string]*pathBucket)
-		inA := make(map[graph.V]struct{}, 16)
+		buckets := make(bucketMap)
+		sc := m.newJoinScratch()
 		for _, p := range pool {
 			for _, a := range p.Embs {
-				join(a, buckets, inA)
+				join(a, buckets, sc)
 			}
 		}
 		return buckets
 	}
 	as := flattenEmbs(pool)
-	return m.parBuckets(len(as), workers, func(lo, hi int, buckets map[string]*pathBucket) {
-		inA := make(map[graph.V]struct{}, 16)
+	return m.parBuckets(len(as), workers, func(lo, hi int, buckets bucketMap, sc *joinScratch) {
 		for _, a := range as[lo:hi] {
-			join(a, buckets, inA)
+			join(a, buckets, sc)
 		}
 	})
 }
 
 // parBuckets runs the join body over [0, n) across a pool of the given
-// worker count, each worker filling a private bucket map over contiguous chunks
-// claimed from a shared counter, then merges the worker maps. Bucket
-// membership is set-valued (exact-key dedup, orientation-independent
-// support sets) and collect sorts everything it emits, so the merged
-// result is identical to the sequential one regardless of scheduling.
-func (m *DiamMiner) parBuckets(n, workers int, run func(lo, hi int, buckets map[string]*pathBucket)) map[string]*pathBucket {
+// worker count, each worker filling a private bucket map (with private
+// scratch) over contiguous chunks claimed from a shared counter, then
+// merges the worker maps. Bucket membership is set-valued (exact-key
+// dedup, orientation-independent support sets) and collect sorts
+// everything it emits, so the merged result is identical to the
+// sequential one regardless of scheduling.
+func (m *DiamMiner) parBuckets(n, workers int, run func(lo, hi int, buckets bucketMap, sc *joinScratch)) bucketMap {
 	if workers > n {
 		workers = n
 	}
 	if workers < 2 {
-		buckets := make(map[string]*pathBucket)
+		buckets := make(bucketMap)
 		if n > 0 {
-			run(0, n, buckets)
+			run(0, n, buckets, m.newJoinScratch())
 		}
 		return buckets
 	}
@@ -351,15 +421,16 @@ func (m *DiamMiner) parBuckets(n, workers int, run func(lo, hi int, buckets map[
 	if chunk < 1 {
 		chunk = 1
 	}
-	locals := make([]map[string]*pathBucket, workers)
+	locals := make([]bucketMap, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			buckets := make(map[string]*pathBucket)
+			buckets := make(bucketMap)
 			locals[w] = buckets
+			sc := m.newJoinScratch()
 			for {
 				lo := int(next.Add(int64(chunk))) - chunk
 				if lo >= n {
@@ -369,58 +440,68 @@ func (m *DiamMiner) parBuckets(n, workers int, run func(lo, hi int, buckets map[
 				if hi > n {
 					hi = n
 				}
-				run(lo, hi, buckets)
+				run(lo, hi, buckets, sc)
 			}
 		}(w)
 	}
 	wg.Wait()
 	out := locals[0]
 	for _, loc := range locals[1:] {
-		for key, b := range loc {
-			dst, ok := out[key]
-			if !ok {
-				out[key] = b
-				continue
+		for h, chain := range loc {
+			for _, b := range chain {
+				dst := findBucket(out[h], b.seq)
+				if dst == nil {
+					out[h] = append(out[h], b)
+					continue
+				}
+				dst.merge(b)
 			}
-			dst.merge(b)
 		}
 	}
 	return out
 }
 
+// findBucket resolves a hash chain by exact canonical-sequence
+// comparison.
+func findBucket(chain []*pathBucket, seq []graph.Label) *pathBucket {
+	for _, b := range chain {
+		if labelSeqsEqual(b.seq, seq) {
+			return b
+		}
+	}
+	return nil
+}
+
 // concat joins pairs of frequent paths of length L end-to-end into
 // candidate paths of length 2L (Algorithm 2 lines 2–7). Because every
 // pattern stores both orientations of every embedding, a single
-// last-vertex index covers all of CheckConcat's cases.
+// last-vertex index covers all of CheckConcat's cases. The index keys
+// (GID, vertex) pairs packed exactly into a uint64, so lookups need no
+// verification.
 func (m *DiamMiner) concat(prev []*PathPattern, workers int) []*PathPattern {
-	type vkey struct {
-		gid int32
-		v   graph.V
-	}
-	byFirst := make(map[vkey][]PathEmb)
+	byFirst := make(map[uint64][]PathEmb)
 	for _, p := range prev {
 		for _, e := range p.Embs {
-			k := vkey{e.GID, e.Seq[0]}
+			k := gidVertexKey(e.GID, e.Seq[0])
 			byFirst[k] = append(byFirst[k], e)
 		}
 	}
-	buckets := m.joinBuckets(prev, workers, func(a PathEmb, buckets map[string]*pathBucket, inA map[graph.V]struct{}) {
-		cands := byFirst[vkey{a.GID, a.Seq[len(a.Seq)-1]}]
+	buckets := m.joinBuckets(prev, workers, func(a PathEmb, buckets bucketMap, sc *joinScratch) {
+		cands := byFirst[gidVertexKey(a.GID, a.Seq[len(a.Seq)-1])]
 		if len(cands) == 0 {
 			return
 		}
-		clear(inA)
+		sc.inA.reset()
 		for _, v := range a.Seq {
-			inA[v] = struct{}{}
+			sc.inA.mark(v)
 		}
 		for _, b := range cands {
-			if !disjointAfterJoint(inA, b.Seq) {
+			if !disjointAfterJoint(sc.inA, b.Seq) {
 				continue
 			}
-			comb := make(graph.Path, 0, len(a.Seq)+len(b.Seq)-1)
-			comb = append(comb, a.Seq...)
-			comb = append(comb, b.Seq[1:]...)
-			m.bucketAdd(buckets, PathEmb{GID: a.GID, Seq: comb})
+			sc.comb = append(sc.comb[:0], a.Seq...)
+			sc.comb = append(sc.comb, b.Seq[1:]...)
+			m.bucketAdd(buckets, sc, PathEmb{GID: a.GID, Seq: sc.comb})
 		}
 	})
 	return m.collect(buckets)
@@ -429,74 +510,97 @@ func (m *DiamMiner) concat(prev []*PathPattern, workers int) []*PathPattern {
 // merge overlaps two length-m paths to form paths of length l with
 // overlap o = 2m-l (Algorithm 2 lines 9–17). The single prefix index
 // covers both CheckMergeHead and CheckMergeTail because both orientations
-// of every embedding are stored.
+// of every embedding are stored. The index is keyed by the 64-bit hash
+// of (GID, prefix); every candidate is verified against the exact
+// suffix before joining, so hash collisions never produce a bogus join.
 func (m *DiamMiner) merge(pool []*PathPattern, l, pm int, workers int) []*PathPattern {
 	o := 2*pm - l // overlap in edges, >= 1
-	type pkey struct {
-		gid int32
-		k   string
-	}
-	byPrefix := make(map[pkey][]PathEmb)
+	byPrefix := make(map[uint64][]PathEmb)
 	for _, p := range pool {
 		for _, e := range p.Embs {
-			byPrefix[pkey{e.GID, vertexTupleKey(e.Seq[:o+1])}] = append(
-				byPrefix[pkey{e.GID, vertexTupleKey(e.Seq[:o+1])}], e)
+			k := hashGidSeq(e.GID, e.Seq[:o+1])
+			byPrefix[k] = append(byPrefix[k], e)
 		}
 	}
-	buckets := m.joinBuckets(pool, workers, func(a PathEmb, buckets map[string]*pathBucket, inA map[graph.V]struct{}) {
+	buckets := m.joinBuckets(pool, workers, func(a PathEmb, buckets bucketMap, sc *joinScratch) {
 		suffix := a.Seq[len(a.Seq)-o-1:]
-		cands := byPrefix[pkey{a.GID, vertexTupleKey(suffix)}]
+		cands := byPrefix[hashGidSeq(a.GID, suffix)]
 		if len(cands) == 0 {
 			return
 		}
-		clear(inA)
+		sc.inA.reset()
 		for _, v := range a.Seq {
-			inA[v] = struct{}{}
+			sc.inA.mark(v)
 		}
 		for _, b := range cands {
-			if !disjointAfterOverlap(inA, b.Seq, o) {
+			if b.GID != a.GID || !prefixMatches(b.Seq, suffix) {
+				continue // hash collision
+			}
+			if !disjointAfterOverlap(sc.inA, b.Seq, o) {
 				continue
 			}
-			comb := make(graph.Path, 0, l+1)
-			comb = append(comb, a.Seq...)
-			comb = append(comb, b.Seq[o+1:]...)
-			m.bucketAdd(buckets, PathEmb{GID: a.GID, Seq: comb})
+			sc.comb = append(sc.comb[:0], a.Seq...)
+			sc.comb = append(sc.comb, b.Seq[o+1:]...)
+			m.bucketAdd(buckets, sc, PathEmb{GID: a.GID, Seq: sc.comb})
 		}
 	})
 	return m.collect(buckets)
 }
 
-func (m *DiamMiner) bucketAdd(buckets map[string]*pathBucket, e PathEmb) {
-	seq := make([]graph.Label, len(e.Seq))
+// prefixMatches reports whether seq starts with the given prefix.
+func prefixMatches(seq graph.Path, prefix graph.Path) bool {
+	return len(seq) >= len(prefix) && slices.Equal(seq[:len(prefix)], prefix)
+}
+
+// bucketAdd routes a candidate embedding (whose Seq may alias scratch)
+// to its pattern bucket, keyed by the canonical label sequence. Labels
+// are gathered into the worker's scratch buffer and hashed in canonical
+// direction; a fresh label slice is materialized only when a new bucket
+// is created.
+func (m *DiamMiner) bucketAdd(buckets bucketMap, sc *joinScratch, e PathEmb) {
 	g := m.graphs[e.GID]
-	for i, v := range e.Seq {
-		seq[i] = g.Label(v)
+	sc.labels = sc.labels[:0]
+	for _, v := range e.Seq {
+		sc.labels = append(sc.labels, g.Label(v))
 	}
-	canon := graph.CanonicalLabelSeq(seq)
-	key := graph.LabelSeqKey(canon)
-	b, ok := buckets[key]
-	if !ok {
-		b = newPathBucket(canon)
-		buckets[key] = b
+	fwd := canonLabelsForward(sc.labels)
+	h := hashLabelsDir(sc.labels, fwd)
+	for _, b := range buckets[h] {
+		if labelsEqualDir(b.seq, sc.labels, fwd) {
+			b.add(e, true)
+			return
+		}
 	}
-	b.add(e)
+	n := len(sc.labels)
+	canon := make([]graph.Label, n)
+	for i := 0; i < n; i++ {
+		if fwd {
+			canon[i] = sc.labels[i]
+		} else {
+			canon[i] = sc.labels[n-1-i]
+		}
+	}
+	b := newPathBucket(canon)
+	buckets[h] = append(buckets[h], b)
+	b.add(e, true)
 }
 
 // collect applies the frequency threshold and sorts patterns.
-func (m *DiamMiner) collect(buckets map[string]*pathBucket) []*PathPattern {
+func (m *DiamMiner) collect(buckets bucketMap) []*PathPattern {
 	var out []*PathPattern
-	for _, b := range buckets {
-		sup := len(b.subgraphs)
-		if sup < m.support {
-			continue
-		}
-		sort.Slice(b.embs, func(i, j int) bool {
-			if b.embs[i].GID != b.embs[j].GID {
-				return b.embs[i].GID < b.embs[j].GID
+	for _, chain := range buckets {
+		for _, b := range chain {
+			if b.nsub < m.support {
+				continue
 			}
-			return comparePaths(b.embs[i].Seq, b.embs[j].Seq) < 0
-		})
-		out = append(out, &PathPattern{Seq: b.seq, Embs: b.embs, Support: sup})
+			sort.Slice(b.embs, func(i, j int) bool {
+				if b.embs[i].GID != b.embs[j].GID {
+					return b.embs[i].GID < b.embs[j].GID
+				}
+				return comparePaths(b.embs[i].Seq, b.embs[j].Seq) < 0
+			})
+			out = append(out, &PathPattern{Seq: b.seq, Embs: b.embs, Support: b.nsub})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		return graph.CompareLabelSeqs(out[i].Seq, out[j].Seq) < 0
@@ -523,10 +627,10 @@ func comparePaths(a, b graph.Path) int {
 }
 
 // disjointAfterJoint reports whether seq's vertices beyond its first are
-// all absent from the set inA.
-func disjointAfterJoint(inA map[graph.V]struct{}, seq graph.Path) bool {
+// all absent from the stamped set inA.
+func disjointAfterJoint(inA *stampSet, seq graph.Path) bool {
 	for _, v := range seq[1:] {
-		if _, hit := inA[v]; hit {
+		if inA.has(v) {
 			return false
 		}
 	}
@@ -535,19 +639,11 @@ func disjointAfterJoint(inA map[graph.V]struct{}, seq graph.Path) bool {
 
 // disjointAfterOverlap reports whether seq's vertices beyond position o
 // are all absent from inA.
-func disjointAfterOverlap(inA map[graph.V]struct{}, seq graph.Path, o int) bool {
+func disjointAfterOverlap(inA *stampSet, seq graph.Path, o int) bool {
 	for _, v := range seq[o+1:] {
-		if _, hit := inA[v]; hit {
+		if inA.has(v) {
 			return false
 		}
 	}
 	return true
-}
-
-func vertexTupleKey(seq graph.Path) string {
-	b := make([]byte, 0, len(seq)*4)
-	for _, v := range seq {
-		b = append4(b, v)
-	}
-	return string(b)
 }

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"skinnymine/internal/graph"
 	"skinnymine/internal/support"
@@ -24,17 +24,39 @@ import (
 // pattern only extends with descriptors >= its anchor (Panchor), so each
 // edge set is assembled in exactly one order within a cluster.
 
+// growScratch is the reusable per-worker state of Stage II growth: a
+// stamped inverse-map table sized by the largest data graph (replacing
+// the map[graph.V]int32 rebuilt per embedding in candidates), plus
+// descriptor and embedding-map buffers. One scratch belongs to exactly
+// one worker goroutine; nothing here is shared.
+type growScratch struct {
+	inv      *stampTable
+	descSeen map[extDesc]struct{}
+	descBuf  []extDesc
+	mapBuf   []graph.V
+}
+
+func (m *miner) newGrowScratch() *growScratch {
+	return &growScratch{
+		inv:      newStampTable(m.maxN),
+		descSeen: make(map[extDesc]struct{}, 32),
+	}
+}
+
 // candidates collects the distinct valid extension descriptors of p at
 // the given level, sorted, using the stored embedding maps so only
-// data-supported extensions appear.
-func (m *miner) candidates(p *Pattern, level int32) []extDesc {
-	seen := make(map[extDesc]struct{})
+// data-supported extensions appear. The returned slice aliases
+// sc.descBuf and is valid until the next candidates call on the same
+// scratch.
+func (m *miner) candidates(p *Pattern, level int32, sc *growScratch) []extDesc {
+	clear(sc.descSeen)
 	n := int32(p.G.N())
-	for _, e := range p.Embs.Embeddings() {
+	for ei := 0; ei < p.Embs.Len(); ei++ {
+		e := p.Embs.At(ei)
 		g := m.graphs[e.GID]
-		inv := make(map[graph.V]int32, len(e.Map))
+		sc.inv.reset()
 		for pi, dv := range e.Map {
-			inv[dv] = int32(pi)
+			sc.inv.set(dv, int32(pi))
 		}
 		for pi := int32(0); pi < n; pi++ {
 			lv := p.Level[pi]
@@ -43,7 +65,7 @@ func (m *miner) candidates(p *Pattern, level int32) []extDesc {
 			}
 			dv := e.Map[pi]
 			for _, w := range g.Neighbors(dv) {
-				if qj, mapped := inv[w]; mapped {
+				if qj, mapped := sc.inv.get(w); mapped {
 					// Backward edge candidate between pattern vertices.
 					if p.G.HasEdge(graph.V(pi), graph.V(qj)) {
 						continue
@@ -59,26 +81,27 @@ func (m *miner) candidates(p *Pattern, level int32) []extDesc {
 					if a > b {
 						a, b = b, a
 					}
-					seen[extDesc{kind: 0, src: a, dst: b}] = struct{}{}
+					sc.descSeen[extDesc{kind: 0, src: a, dst: b}] = struct{}{}
 				} else if lv == level-1 {
 					// Forward edge candidate: new vertex at this level.
-					seen[extDesc{kind: 1, src: pi, dst: -1, label: g.Label(w)}] = struct{}{}
+					sc.descSeen[extDesc{kind: 1, src: pi, dst: -1, label: g.Label(w)}] = struct{}{}
 				}
 			}
 		}
 	}
-	out := make([]extDesc, 0, len(seen))
-	for d := range seen {
+	out := sc.descBuf[:0]
+	for d := range sc.descSeen {
 		out = append(out, d)
 	}
-	sort.Slice(out, func(i, j int) bool { return compareDesc(out[i], out[j]) < 0 })
+	slices.SortFunc(out, compareDesc)
+	sc.descBuf = out
 	return out
 }
 
 // extend applies descriptor d to p at the given level, checks the three
 // constraints and the frequency threshold, and returns the child pattern
 // or nil with the reason.
-func (m *miner) extend(p *Pattern, d extDesc, level int32) (*Pattern, rejectReason) {
+func (m *miner) extend(p *Pattern, d extDesc, level int32, sc *growScratch) (*Pattern, rejectReason) {
 	g := p.G.Clone()
 	child := &Pattern{
 		G:         g,
@@ -109,8 +132,11 @@ func (m *miner) extend(p *Pattern, d extDesc, level int32) (*Pattern, rejectReas
 	}
 
 	// Frequency: derive the child's embeddings from the parent's maps.
+	// Extended maps are assembled in sc.mapBuf; Set.Add copies what it
+	// stores, so the buffer is reused across embeddings.
 	child.Embs = support.NewSet(g.Edges(), m.opt.MaxEmbeddings)
-	for _, e := range p.Embs.Embeddings() {
+	for ei := 0; ei < p.Embs.Len(); ei++ {
+		e := p.Embs.At(ei)
 		dg := m.graphs[e.GID]
 		if d.kind == 0 {
 			if dg.HasEdge(e.Map[d.src], e.Map[d.dst]) {
@@ -126,8 +152,9 @@ func (m *miner) extend(p *Pattern, d extDesc, level int32) (*Pattern, rejectReas
 			if inMap(e.Map, w) {
 				continue
 			}
-			ext := support.Embedding{GID: e.GID, Map: append(append([]graph.V(nil), e.Map...), w)}
-			child.Embs.Add(ext)
+			sc.mapBuf = append(sc.mapBuf[:0], e.Map...)
+			sc.mapBuf = append(sc.mapBuf, w)
+			child.Embs.Add(support.Embedding{GID: e.GID, Map: sc.mapBuf})
 		}
 	}
 	if child.Embs.Count(m.opt.Measure) < m.opt.Support {
@@ -147,14 +174,17 @@ func inMap(m []graph.V, w graph.V) bool {
 
 // greedyLevelGrow absorbs valid frequent level-i extensions into one
 // maximal pattern (Options.GreedyGrow).
-func (m *miner) greedyLevelGrow(p *Pattern, level int32) []*Pattern {
+func (m *miner) greedyLevelGrow(p *Pattern, level int32, sc *growScratch) []*Pattern {
+	if m.budgetExhausted() {
+		return nil // don't grind a full greedy fixpoint just to drop it
+	}
 	cur := p
 	grew := false
 	for {
 		applied := false
-		for _, d := range m.candidates(cur, level) {
+		for _, d := range m.candidates(cur, level, sc) {
 			m.stats.extensionsTried.Add(1)
-			child, reason := m.extend(cur, d, level)
+			child, reason := m.extend(cur, d, level, sc)
 			switch reason {
 			case rejectI:
 				m.stats.constraintRejects[0].Add(1)
@@ -186,27 +216,36 @@ func (m *miner) greedyLevelGrow(p *Pattern, level int32) []*Pattern {
 		m.stats.duplicates.Add(1)
 		return nil
 	}
+	if !m.consumeBudget() {
+		return nil // MaxPatterns budget exhausted; drop, don't emit
+	}
 	return []*Pattern{cur}
 }
 
 // levelGrow expands p with every valid non-empty set of level-i edges,
 // returning all distinct (by canonical code) valid frequent children,
-// transitively.
-func (m *miner) levelGrow(p *Pattern, level int32) []*Pattern {
+// transitively. Every returned pattern holds a reserved MaxPatterns
+// budget slot: the slot is taken only after the child passes dedup, and
+// a child that fails to reserve one is dropped, so the number of
+// patterns emitted across all workers never exceeds the budget.
+func (m *miner) levelGrow(p *Pattern, level int32, sc *growScratch) []*Pattern {
 	if m.opt.GreedyGrow {
-		return m.greedyLevelGrow(p, level)
+		return m.greedyLevelGrow(p, level, sc)
+	}
+	if m.budgetExhausted() {
+		return nil
 	}
 	var out []*Pattern
 	frontier := []*Pattern{p}
 	for len(frontier) > 0 {
 		var next []*Pattern
 		for _, cur := range frontier {
-			for _, d := range m.candidates(cur, level) {
+			for _, d := range m.candidates(cur, level, sc) {
 				if cur.hasAnchor && compareDesc(d, cur.anchor) < 0 {
 					continue
 				}
 				m.stats.extensionsTried.Add(1)
-				child, reason := m.extend(cur, d, level)
+				child, reason := m.extend(cur, d, level, sc)
 				switch reason {
 				case rejectI:
 					m.stats.constraintRejects[0].Add(1)
@@ -227,8 +266,9 @@ func (m *miner) levelGrow(p *Pattern, level int32) []*Pattern {
 					continue
 				}
 				if !m.consumeBudget() {
-					out = append(out, next...)
-					return append(out, child)
+					// Budget exhausted: the child could not reserve a
+					// slot, so it is NOT part of the result.
+					return append(out, next...)
 				}
 				next = append(next, child)
 			}

@@ -32,9 +32,18 @@ type Options struct {
 	// GraphCount for transaction databases).
 	Measure support.Measure
 	// MaxEmbeddings caps stored embeddings per pattern (0 = unlimited).
+	// Support (subgraph count) and GraphCount stay exact past the cap;
+	// MNI and further growth work from the stored sample.
 	MaxEmbeddings int
-	// MaxPatterns aborts mining after this many result patterns
-	// (0 = unlimited); a safety valve for exploratory runs.
+	// MaxPatterns bounds how many patterns Stage II may generate
+	// (0 = unlimited); a safety valve for exploratory runs. Every
+	// emitted pattern reserves one budget slot after canonical-code
+	// dedup (duplicates never consume budget), and the cap is applied
+	// to the final result only after ValidateOutput/ClosedOnly
+	// filtering, so the run returns min(MaxPatterns, generated) of the
+	// filtered patterns. Filtering can still leave fewer than
+	// MaxPatterns results: slots consumed by patterns the filters later
+	// dropped are not regenerated.
 	MaxPatterns int
 	// ClosedOnly keeps only closed patterns (no super-pattern in the
 	// result with equal support), per Algorithm 3 line 12.
@@ -108,16 +117,25 @@ type miner struct {
 	check  checker
 	stats  *statCounters
 	codes  *codeSet
+	maxN   int           // largest vertex count across graphs; sizes stamp tables
 	budget *atomic.Int64 // remaining MaxPatterns budget; nil = unlimited
 }
 
 // consumeBudget reserves one output slot, reporting false when the
-// MaxPatterns budget is exhausted. Shared across workers.
+// MaxPatterns budget is exhausted. Shared across workers. Callers must
+// dedup first: a reserved slot is never returned, so reserving for a
+// pattern that is then discarded leaks budget.
 func (m *miner) consumeBudget() bool {
 	if m.budget == nil {
 		return true
 	}
 	return m.budget.Add(-1) >= 0
+}
+
+// budgetExhausted reports whether the MaxPatterns budget has run dry,
+// without consuming a slot.
+func (m *miner) budgetExhausted() bool {
+	return m.budget != nil && m.budget.Load() <= 0
 }
 
 // statCounters is the lock-free accumulator behind Stats: one miner is
@@ -253,6 +271,7 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 		opt:    opt,
 		stats:  &statCounters{},
 		codes:  newCodeSet(),
+		maxN:   dm.maxN, // graphs == dm.graphs for every caller
 	}
 	if opt.MaxPatterns > 0 {
 		m.budget = &atomic.Int64{}
@@ -296,8 +315,9 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 		workers = len(seeds)
 	}
 	if workers < 2 {
+		sc := m.newGrowScratch()
 		for i, pp := range seeds {
-			perSeed[i] = m.growSeed(pp, maxDelta)
+			perSeed[i] = m.growSeed(pp, maxDelta, sc)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -306,12 +326,13 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				sc := m.newGrowScratch()
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(seeds) {
 						return
 					}
-					perSeed[i] = m.growSeed(seeds[i], maxDelta)
+					perSeed[i] = m.growSeed(seeds[i], maxDelta, sc)
 				}
 			}()
 		}
@@ -320,10 +341,6 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 	var out []*Pattern
 	for _, ps := range perSeed {
 		out = append(out, ps...)
-		if opt.MaxPatterns > 0 && len(out) >= opt.MaxPatterns {
-			out = out[:opt.MaxPatterns]
-			break
-		}
 	}
 	// Canonical output order: seeds race only through the shared dedup
 	// set, so the merged set is scheduling-independent; sorting by
@@ -341,19 +358,31 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 	if opt.ClosedOnly {
 		out = closedOnly(out)
 	}
+	// The budget already bounds generation, so the filtered result can
+	// only exceed MaxPatterns if filtering was disabled and generation
+	// raced; clamp defensively AFTER the filters so valid patterns are
+	// never discarded while invalid ones occupy the cap.
+	if opt.MaxPatterns > 0 && len(out) > opt.MaxPatterns {
+		out = out[:opt.MaxPatterns]
+	}
 	stats.LevelGrowTime = time.Since(t1)
 	m.stats.snapshot(&stats)
 	return &Result{Patterns: out, Stats: stats}, nil
 }
 
 // growSeed grows one canonical diameter's cluster to completion (or
-// until the shared MaxPatterns budget runs dry).
-func (m *miner) growSeed(pp *PathPattern, maxDelta int) []*Pattern {
-	if !m.consumeBudget() {
+// until the shared MaxPatterns budget runs dry). Budget slots are
+// reserved only after dedup succeeds — a duplicate seed must not leak a
+// slot — and a seed that cannot reserve one is dropped.
+func (m *miner) growSeed(pp *PathPattern, maxDelta int, sc *growScratch) []*Pattern {
+	if m.budgetExhausted() {
 		return nil
 	}
 	p0 := newPatternFromPath(pp, m.graphs, m.opt.MaxEmbeddings)
 	if !m.dedup(p0) {
+		return nil
+	}
+	if !m.consumeBudget() {
 		return nil
 	}
 	out := []*Pattern{p0}
@@ -362,7 +391,7 @@ func (m *miner) growSeed(pp *PathPattern, maxDelta int) []*Pattern {
 		var next []*Pattern
 		for _, p := range frontier {
 			p.hasAnchor = false // Panchor ordering restarts per level
-			next = append(next, m.levelGrow(p, level)...)
+			next = append(next, m.levelGrow(p, level, sc)...)
 		}
 		if len(next) == 0 {
 			break
@@ -417,9 +446,13 @@ func (m *miner) validateOutput(ps []*Pattern, lo int) []*Pattern {
 }
 
 // closedOnly keeps patterns with no strict super-pattern of equal
-// support in the result set.
+// support in the result set. It writes survivors to a fresh slice: the
+// witness loop must read the *original* result set for every candidate,
+// and filtering in place (out := ps[:0]) would overwrite slots the
+// inner loop still reads — correct only via a fragile transitivity
+// argument about equal-support chains.
 func closedOnly(ps []*Pattern) []*Pattern {
-	out := ps[:0]
+	out := make([]*Pattern, 0, len(ps))
 	for i, p := range ps {
 		closed := true
 		for j, q := range ps {

@@ -36,11 +36,12 @@ func MinCode(g *graph.Graph) Code {
 		}
 	}
 	code := Code{first}
+	cx := newCodeCtx(g)
 	var states []*traversal
 	for _, e := range g.Edges() {
 		for _, or := range [2][2]graph.V{{e.U, e.W}, {e.W, e.U}} {
 			if g.Label(or[0]) == first.LI && g.Label(or[1]) == first.LJ {
-				states = append(states, newTraversal(g, or[0], or[1]))
+				states = append(states, newTraversal(cx, or[0], or[1]))
 			}
 		}
 	}
@@ -89,73 +90,104 @@ func MinCodeKey(g *graph.Graph) string {
 	return MinCode(g).Key()
 }
 
-// traversal is a partial DFS traversal of g realizing the current code
-// prefix: vmap maps code vertices to graph vertices, rmp is the rightmost
-// path as code-vertex indices, used marks covered graph edges.
-type traversal struct {
-	g    *graph.Graph
-	vmap []graph.V
-	vinv map[graph.V]int32
-	rmp  []int32
-	used map[graph.Edge]struct{}
+// codeCtx is the per-MinCode shared, read-only context: the graph and a
+// dense edge -> index table so traversals can mark covered edges in a
+// flat bitset instead of a map.
+type codeCtx struct {
+	g       *graph.Graph
+	edgeIdx map[graph.Edge]int32
+	words   int // bitset words per traversal
 }
 
-func newTraversal(g *graph.Graph, v0, v1 graph.V) *traversal {
-	e := graph.Edge{U: v0, W: v1}.Norm()
-	return &traversal{
-		g:    g,
-		vmap: []graph.V{v0, v1},
-		vinv: map[graph.V]int32{v0: 0, v1: 1},
-		rmp:  []int32{0, 1},
-		used: map[graph.Edge]struct{}{e: {}},
+func newCodeCtx(g *graph.Graph) *codeCtx {
+	es := g.Edges()
+	idx := make(map[graph.Edge]int32, len(es))
+	for i, e := range es {
+		idx[e] = int32(i)
 	}
+	return &codeCtx{g: g, edgeIdx: idx, words: (len(es) + 63) / 64}
+}
+
+// traversal is a partial DFS traversal realizing the current code
+// prefix: vmap maps code vertices to graph vertices, vinv is the flat
+// inverse (-1 = unmapped), rmp is the rightmost path as code-vertex
+// indices, used is a bitset over the context's edge indices. All state
+// is flat arrays, so clone is a handful of memcpys — no map rehashing
+// per step, which dominated the allocation profile of pattern dedup.
+type traversal struct {
+	cx   *codeCtx
+	vmap []graph.V
+	vinv []int32
+	rmp  []int32
+	used []uint64
+}
+
+func newTraversal(cx *codeCtx, v0, v1 graph.V) *traversal {
+	vinv := make([]int32, cx.g.N())
+	for i := range vinv {
+		vinv[i] = -1
+	}
+	vinv[v0], vinv[v1] = 0, 1
+	t := &traversal{
+		cx:   cx,
+		vmap: []graph.V{v0, v1},
+		vinv: vinv,
+		rmp:  []int32{0, 1},
+		used: make([]uint64, cx.words),
+	}
+	t.markUsed(v0, v1)
+	return t
+}
+
+func (t *traversal) markUsed(u, w graph.V) {
+	i := t.cx.edgeIdx[(graph.Edge{U: u, W: w}).Norm()]
+	t.used[i>>6] |= 1 << (uint(i) & 63)
+}
+
+func (t *traversal) isUsed(u, w graph.V) bool {
+	i := t.cx.edgeIdx[(graph.Edge{U: u, W: w}).Norm()]
+	return t.used[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
 func (t *traversal) clone() *traversal {
-	c := &traversal{
-		g:    t.g,
+	return &traversal{
+		cx:   t.cx,
 		vmap: append([]graph.V(nil), t.vmap...),
-		vinv: make(map[graph.V]int32, len(t.vinv)),
+		vinv: append([]int32(nil), t.vinv...),
 		rmp:  append([]int32(nil), t.rmp...),
-		used: make(map[graph.Edge]struct{}, len(t.used)+1),
+		used: append([]uint64(nil), t.used...),
 	}
-	for k, v := range t.vinv {
-		c.vinv[k] = v
-	}
-	for k := range t.used {
-		c.used[k] = struct{}{}
-	}
-	return c
 }
 
 // candidates reports every extension tuple this traversal can make:
 // backward edges from the rightmost vertex to rightmost-path vertices,
 // and forward edges from rightmost-path vertices to unmapped neighbors.
 func (t *traversal) candidates(yield func(Tuple)) {
+	g := t.cx.g
 	r := t.rmp[len(t.rmp)-1]
 	rv := t.vmap[r]
 	// Backward: rightmost vertex -> earlier rightmost-path vertex.
-	for _, w := range t.g.Neighbors(rv) {
-		ci, mapped := t.vinv[w]
-		if !mapped {
+	for _, w := range g.Neighbors(rv) {
+		ci := t.vinv[w]
+		if ci < 0 {
 			continue
 		}
-		if _, covered := t.used[(graph.Edge{U: rv, W: w}).Norm()]; covered {
+		if t.isUsed(rv, w) {
 			continue
 		}
 		if t.onRMP(ci) && ci < r {
-			yield(Tuple{I: r, J: ci, LI: t.g.Label(rv), LJ: t.g.Label(w)})
+			yield(Tuple{I: r, J: ci, LI: g.Label(rv), LJ: g.Label(w)})
 		}
 	}
 	// Forward: rightmost-path vertex -> new vertex.
 	n := int32(len(t.vmap))
 	for _, ci := range t.rmp {
 		cv := t.vmap[ci]
-		for _, w := range t.g.Neighbors(cv) {
-			if _, mapped := t.vinv[w]; mapped {
+		for _, w := range g.Neighbors(cv) {
+			if t.vinv[w] >= 0 {
 				continue
 			}
-			yield(Tuple{I: ci, J: n, LI: t.g.Label(cv), LJ: t.g.Label(w)})
+			yield(Tuple{I: ci, J: n, LI: g.Label(cv), LJ: g.Label(w)})
 		}
 	}
 }
@@ -172,6 +204,7 @@ func (t *traversal) onRMP(ci int32) bool {
 // realize returns all extensions of t by the given tuple (possibly
 // several when multiple graph vertices fit a forward label, or none).
 func (t *traversal) realize(tp Tuple) []*traversal {
+	g := t.cx.g
 	var out []*traversal
 	if !tp.Forward() {
 		r := t.rmp[len(t.rmp)-1]
@@ -180,18 +213,17 @@ func (t *traversal) realize(tp Tuple) []*traversal {
 		}
 		rv := t.vmap[r]
 		wv := t.vmap[tp.J]
-		if !t.onRMP(tp.J) || !t.g.HasEdge(rv, wv) {
+		if !t.onRMP(tp.J) || !g.HasEdge(rv, wv) {
 			return nil
 		}
-		e := (graph.Edge{U: rv, W: wv}).Norm()
-		if _, covered := t.used[e]; covered {
+		if t.isUsed(rv, wv) {
 			return nil
 		}
-		if t.g.Label(rv) != tp.LI || t.g.Label(wv) != tp.LJ {
+		if g.Label(rv) != tp.LI || g.Label(wv) != tp.LJ {
 			return nil
 		}
 		c := t.clone()
-		c.used[e] = struct{}{}
+		c.markUsed(rv, wv)
 		return []*traversal{c}
 	}
 	// Forward from rightmost-path vertex tp.I to a new vertex.
@@ -199,29 +231,29 @@ func (t *traversal) realize(tp Tuple) []*traversal {
 		return nil
 	}
 	src := t.vmap[tp.I]
-	if t.g.Label(src) != tp.LI {
+	if g.Label(src) != tp.LI {
 		return nil
 	}
-	for _, w := range t.g.Neighbors(src) {
-		if _, mapped := t.vinv[w]; mapped {
+	for _, w := range g.Neighbors(src) {
+		if t.vinv[w] >= 0 {
 			continue
 		}
-		if t.g.Label(w) != tp.LJ {
+		if g.Label(w) != tp.LJ {
 			continue
 		}
 		c := t.clone()
 		c.vmap = append(c.vmap, w)
 		c.vinv[w] = tp.J
 		// New rightmost path: prefix of rmp up to tp.I, then the new vertex.
-		var rmp []int32
-		for _, x := range c.rmp {
-			rmp = append(rmp, x)
+		keep := len(c.rmp)
+		for i, x := range c.rmp {
 			if x == tp.I {
+				keep = i + 1
 				break
 			}
 		}
-		c.rmp = append(rmp, tp.J)
-		c.used[(graph.Edge{U: src, W: w}).Norm()] = struct{}{}
+		c.rmp = append(c.rmp[:keep], tp.J)
+		c.markUsed(src, w)
 		out = append(out, c)
 	}
 	return out

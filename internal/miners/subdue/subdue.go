@@ -139,7 +139,8 @@ func expand(g *graph.Graph, c *candidate, seen map[string]struct{}) []*candidate
 		label    graph.Label
 	}
 	exts := make(map[ext]struct{})
-	for _, e := range c.embs.Embeddings() {
+	for ei := 0; ei < c.embs.Len(); ei++ {
+		e := c.embs.At(ei)
 		inv := make(map[graph.V]int32, len(e.Map))
 		for pi, dv := range e.Map {
 			inv[dv] = int32(pi)
@@ -208,7 +209,8 @@ func compressionValue(g *graph.Graph, baseDL float64, p *graph.Graph, set *suppo
 func nonOverlappingInstances(set *support.Set) int {
 	used := make(map[string]map[graph.V]struct{})
 	count := 0
-	for _, e := range set.Embeddings() {
+	for ei := 0; ei < set.Len(); ei++ {
+		e := set.At(ei)
 		key := fmt.Sprint(e.GID)
 		if used[key] == nil {
 			used[key] = make(map[graph.V]struct{})

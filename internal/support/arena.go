@@ -1,0 +1,68 @@
+package support
+
+import "bytes"
+
+// keyArena is an exact, string-free key set: keys are appended to one
+// flat byte buffer and indexed by a 64-bit FNV-1a hash with intrusive
+// collision chains. A hash hit always verifies the full key bytes, so
+// membership semantics are exactly those of a map[string]struct{} while
+// insertion allocates only amortized buffer growth — no per-key string.
+// The zero value is ready to use.
+type keyArena struct {
+	buf   []byte
+	ends  []uint64         // key i occupies buf[ends[i-1]:ends[i]]
+	heads map[uint64]int32 // hash -> newest key index
+	next  []int32          // per key: previous index with same hash
+}
+
+// Len returns the number of distinct keys inserted.
+func (a *keyArena) Len() int { return len(a.ends) }
+
+// keyAt returns key i's bytes. Offsets are uint64: counting is
+// deliberately uncapped past MaxEmbeddings, so the arena must stay
+// correct (not silently wrap) even past 4 GiB of accumulated keys.
+func (a *keyArena) keyAt(i int32) []byte {
+	lo := uint64(0)
+	if i > 0 {
+		lo = a.ends[i-1]
+	}
+	return a.buf[lo:a.ends[i]]
+}
+
+// insert records key if it is new, copying its bytes into the arena,
+// and reports whether it was new. The caller may reuse key's backing
+// array immediately.
+func (a *keyArena) insert(key []byte) bool {
+	h := hashBytes(key)
+	if a.heads == nil {
+		a.heads = make(map[uint64]int32, 8)
+	}
+	head, collide := a.heads[h]
+	if collide {
+		for i := head; i >= 0; i = a.next[i] {
+			if bytes.Equal(a.keyAt(i), key) {
+				return false
+			}
+		}
+	}
+	idx := int32(len(a.ends))
+	a.buf = append(a.buf, key...)
+	a.ends = append(a.ends, uint64(len(a.buf)))
+	if collide {
+		a.next = append(a.next, head)
+	} else {
+		a.next = append(a.next, -1)
+	}
+	a.heads[h] = idx
+	return true
+}
+
+// hashBytes is 64-bit FNV-1a.
+func hashBytes(b []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
+}

@@ -7,7 +7,7 @@
 package support
 
 import (
-	"sort"
+	"slices"
 
 	"skinnymine/internal/graph"
 )
@@ -28,125 +28,166 @@ func (e Embedding) Clone() Embedding {
 // SubgraphKey returns a canonical key identifying the subgraph an
 // embedding occupies: the sorted list of mapped data edges (prefixed by
 // the graph ID). Two embeddings with equal keys are the same subgraph.
-// Patterns with no edges key on the mapped vertex set instead.
+// Patterns with no edges key on the mapped vertex set instead. The Set
+// hot path builds the same bytes into a reused scratch buffer and never
+// materializes the string; this form exists for tests and external
+// callers.
 func SubgraphKey(patternEdges []graph.Edge, e Embedding) string {
-	if len(patternEdges) == 0 {
-		vs := append([]graph.V(nil), e.Map...)
-		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-		b := make([]byte, 0, 4+len(vs)*4)
-		b = appendInt32(b, e.GID)
-		for _, v := range vs {
-			b = appendInt32(b, v)
-		}
-		return string(b)
-	}
-	es := make([]graph.Edge, len(patternEdges))
-	for i, pe := range patternEdges {
-		es[i] = graph.Edge{U: e.Map[pe.U], W: e.Map[pe.W]}.Norm()
-	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].U != es[j].U {
-			return es[i].U < es[j].U
-		}
-		return es[i].W < es[j].W
-	})
-	b := make([]byte, 0, 4+len(es)*8)
-	b = appendInt32(b, e.GID)
-	for _, e := range es {
-		b = appendInt32(b, e.U)
-		b = appendInt32(b, e.W)
-	}
+	b, _, _ := appendSubgraphKey(nil, nil, nil, patternEdges, e)
 	return string(b)
+}
+
+// appendSubgraphKey appends the canonical subgraph key bytes of e to
+// dst, using (and returning) the caller's edge/vertex scratch slices so
+// repeated calls allocate nothing once the buffers have grown.
+func appendSubgraphKey(dst []byte, es []graph.Edge, vs []graph.V,
+	patternEdges []graph.Edge, e Embedding) ([]byte, []graph.Edge, []graph.V) {
+	if len(patternEdges) == 0 {
+		vs = append(vs[:0], e.Map...)
+		sortVertices(vs)
+		dst = appendInt32(dst, e.GID)
+		for _, v := range vs {
+			dst = appendInt32(dst, v)
+		}
+		return dst, es, vs
+	}
+	es = es[:0]
+	for _, pe := range patternEdges {
+		es = append(es, graph.Edge{U: e.Map[pe.U], W: e.Map[pe.W]}.Norm())
+	}
+	sortEdges(es)
+	dst = appendInt32(dst, e.GID)
+	for _, de := range es {
+		dst = appendInt32(dst, de.U)
+		dst = appendInt32(dst, de.W)
+	}
+	return dst, es, vs
+}
+
+func sortVertices(vs []graph.V) { slices.Sort(vs) }
+
+// sortEdges orders normalized edges by (U, W); slices.SortFunc is
+// allocation-free, keeping the key scratch path alloc-free too.
+func sortEdges(es []graph.Edge) {
+	slices.SortFunc(es, func(a, b graph.Edge) int {
+		if a.U != b.U {
+			return int(a.U) - int(b.U)
+		}
+		return int(a.W) - int(b.W)
+	})
 }
 
 func appendInt32(b []byte, v int32) []byte {
 	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
 
+// appendMapKey appends the exact isomorphism-map key bytes of e to dst.
+func appendMapKey(dst []byte, e Embedding) []byte {
+	dst = appendInt32(dst, e.GID)
+	for _, v := range e.Map {
+		dst = appendInt32(dst, v)
+	}
+	return dst
+}
+
 // Set accumulates embeddings of one pattern. Support counts distinct
 // subgraphs, but storage keeps every distinct isomorphism *map*: pattern
 // automorphisms (e.g. a palindromic diameter) make several maps occupy
 // one subgraph, and extension must proceed from all of them or patterns
-// grown on the "other side" of a symmetry lose embeddings. The zero
-// value is not ready; use NewSet.
+// grown on the "other side" of a symmetry lose embeddings.
+//
+// Storage is columnar: one flat []graph.V holding all stored maps back
+// to back with a fixed stride (the pattern's vertex count) plus a
+// parallel GID column, so a Set costs two slices rather than one heap
+// slice per embedding. Dedup keys (exact map keys and canonical
+// subgraph keys) live in hash-indexed byte arenas and are never
+// materialized as strings.
+//
+// The zero value is not ready; use NewSet.
 type Set struct {
 	patternEdges []graph.Edge
-	embs         []Embedding
-	keys         map[string]struct{} // subgraph keys (support)
-	mapKeys      map[string]struct{} // exact map keys (storage dedup)
-	limit        int                 // 0 = unlimited
+	stride       int       // vertices per stored map (fixed per pattern)
+	n            int       // stored embedding count
+	gids         []int32   // per stored embedding
+	vals         []graph.V // flat columnar storage, n*stride values
+	keys         keyArena  // subgraph keys; Len() is the support
+	mapKeys      keyArena  // exact map keys (storage dedup)
+	gidSet       map[int32]struct{}
+	limit        int // 0 = unlimited
 	truncated    bool
+
+	scratchKey   []byte
+	scratchEdges []graph.Edge
+	scratchVs    []graph.V
 }
 
 // NewSet returns an embedding set for a pattern with the given edges.
-// limit caps the number of *stored* embeddings (0 = unlimited); the
-// support count keeps increasing past the cap, but extension then works
-// from a sample, which mirrors practical miners under blow-up.
+// limit caps the number of *stored* embeddings (0 = unlimited). The
+// Support and GraphSupport counts stay exact past the cap — their key
+// and GID sets are maintained on every Add — but extension and MNI then
+// work from the stored sample, which mirrors practical miners under
+// blow-up.
 func NewSet(patternEdges []graph.Edge, limit int) *Set {
-	return &Set{
-		patternEdges: patternEdges,
-		keys:         make(map[string]struct{}),
-		mapKeys:      make(map[string]struct{}),
-		limit:        limit,
-	}
+	return &Set{patternEdges: patternEdges, limit: limit}
 }
 
-// Add records an embedding map if it is new, copying it. It reports
-// whether the map was new. The subgraph it occupies is counted toward
-// Support whether or not the map itself was stored.
+// Add records an embedding map if it is new, copying it into the
+// columnar store, and reports whether the map was new. The subgraph it
+// occupies and the graph it lives in are counted toward Support and
+// GraphSupport whether or not the map itself was stored (storage may be
+// capped; counting never is). e.Map may alias a caller scratch buffer.
 func (s *Set) Add(e Embedding) bool {
-	mk := mapKey(e)
-	if _, dup := s.mapKeys[mk]; dup {
+	s.scratchKey = appendMapKey(s.scratchKey[:0], e)
+	if !s.mapKeys.insert(s.scratchKey) {
 		return false
 	}
-	s.mapKeys[mk] = struct{}{}
-	s.keys[SubgraphKey(s.patternEdges, e)] = struct{}{}
-	if s.limit > 0 && len(s.embs) >= s.limit {
+	s.scratchKey, s.scratchEdges, s.scratchVs = appendSubgraphKey(
+		s.scratchKey[:0], s.scratchEdges, s.scratchVs, s.patternEdges, e)
+	s.keys.insert(s.scratchKey)
+	if s.gidSet == nil {
+		s.gidSet = make(map[int32]struct{}, 4)
+	}
+	s.gidSet[e.GID] = struct{}{}
+	if s.limit > 0 && s.n >= s.limit {
 		s.truncated = true
 		return true
 	}
-	s.embs = append(s.embs, e.Clone())
+	if s.n == 0 {
+		s.stride = len(e.Map)
+	} else if len(e.Map) != s.stride {
+		panic("support: embedding map length differs within one Set")
+	}
+	s.gids = append(s.gids, e.GID)
+	s.vals = append(s.vals, e.Map...)
+	s.n++
 	return true
 }
 
-func mapKey(e Embedding) string {
-	b := make([]byte, 0, 4+len(e.Map)*4)
-	b = appendInt32(b, e.GID)
-	for _, v := range e.Map {
-		b = appendInt32(b, v)
-	}
-	return string(b)
-}
-
 // Support returns the number of distinct subgraphs recorded (the paper's
-// |E[P]| in the single-graph setting).
-func (s *Set) Support() int { return len(s.keys) }
+// |E[P]| in the single-graph setting). Exact even past the storage cap.
+func (s *Set) Support() int { return s.keys.Len() }
 
 // GraphSupport returns the number of distinct transaction graphs with at
-// least one embedding.
-func (s *Set) GraphSupport() int {
-	gids := make(map[int32]struct{})
-	for _, e := range s.embs {
-		gids[e.GID] = struct{}{}
-	}
-	return len(gids)
-}
+// least one embedding. Exact even past the storage cap: the GID set is
+// maintained at Add time regardless of whether the map was stored.
+func (s *Set) GraphSupport() int { return len(s.gidSet) }
 
 // MNI returns the minimum-image-based support (Bringmann & Nijssen): the
 // minimum over pattern vertices of the number of distinct data vertices
 // it maps to. It is anti-monotone in the single-graph setting and
-// provided as an alternative support measure.
+// provided as an alternative support measure. When the storage cap
+// truncated the set, MNI is computed over the stored sample and is
+// therefore a lower bound on the exact value.
 func (s *Set) MNI() int {
-	if len(s.embs) == 0 {
+	if s.n == 0 {
 		return 0
 	}
-	k := len(s.embs[0].Map)
 	minImg := -1
-	seen := make(map[graph.V]struct{})
-	for i := 0; i < k; i++ {
+	seen := make(map[graph.V]struct{}, s.n)
+	for i := 0; i < s.stride; i++ {
 		clear(seen)
-		for _, e := range s.embs {
-			seen[e.Map[i]] = struct{}{}
+		for j := 0; j < s.n; j++ {
+			seen[s.vals[j*s.stride+i]] = struct{}{}
 		}
 		if minImg < 0 || len(seen) < minImg {
 			minImg = len(seen)
@@ -155,8 +196,27 @@ func (s *Set) MNI() int {
 	return minImg
 }
 
-// Embeddings returns the stored embeddings. Callers must not modify.
-func (s *Set) Embeddings() []Embedding { return s.embs }
+// Len returns the number of stored embeddings.
+func (s *Set) Len() int { return s.n }
+
+// At returns the i-th stored embedding as a view into the columnar
+// store: the Map aliases the Set's backing array and must not be
+// modified or retained across Adds.
+func (s *Set) At(i int) Embedding {
+	lo, hi := i*s.stride, (i+1)*s.stride
+	return Embedding{GID: s.gids[i], Map: s.vals[lo:hi:hi]}
+}
+
+// Embeddings returns the stored embeddings as views into the columnar
+// store (see At). Callers must not modify the maps; hot paths should
+// iterate with Len/At instead, which allocates nothing.
+func (s *Set) Embeddings() []Embedding {
+	out := make([]Embedding, s.n)
+	for i := range out {
+		out[i] = s.At(i)
+	}
+	return out
+}
 
 // Truncated reports whether the storage cap dropped embeddings.
 func (s *Set) Truncated() bool { return s.truncated }

@@ -134,6 +134,82 @@ func TestCountEmbeddingsTransaction(t *testing.T) {
 	}
 }
 
+// TestGraphSupportExactPastStorageCap is the regression test for the
+// truncation undercount: GraphSupport (and Count(GraphCount)) must see
+// every graph an embedding was Added from, even once MaxEmbeddings has
+// stopped storing maps. The pre-fix code scanned only stored
+// embeddings.
+func TestGraphSupportExactPastStorageCap(t *testing.T) {
+	p := testutil.PathGraph(0, 0)
+	s := NewSet(p.Edges(), 1) // store at most one embedding
+	for gid := int32(0); gid < 4; gid++ {
+		s.Add(Embedding{GID: gid, Map: []graph.V{0, 1}})
+	}
+	if !s.Truncated() {
+		t.Fatal("cap of 1 with 4 adds should truncate")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("stored %d, want 1", s.Len())
+	}
+	if got := s.GraphSupport(); got != 4 {
+		t.Errorf("GraphSupport = %d, want 4 (exact past the cap)", got)
+	}
+	if got := s.Count(GraphCount); got != 4 {
+		t.Errorf("Count(GraphCount) = %d, want 4", got)
+	}
+	if got := s.Support(); got != 4 {
+		t.Errorf("Support = %d, want 4 (exact past the cap)", got)
+	}
+}
+
+// TestMNISampleBasedPastStorageCap documents that MNI is computed over
+// the stored sample once the cap truncates, i.e. it is a lower bound.
+func TestMNISampleBasedPastStorageCap(t *testing.T) {
+	p := testutil.PathGraph(0, 1)
+	s := NewSet(p.Edges(), 2)
+	s.Add(Embedding{Map: []graph.V{0, 1}})
+	s.Add(Embedding{Map: []graph.V{0, 2}})
+	s.Add(Embedding{Map: []graph.V{0, 3}}) // counted, not stored
+	if got := s.MNI(); got != 1 {
+		t.Errorf("MNI = %d, want 1 (vertex 0 maps only to {0})", got)
+	}
+	// The sample holds 2 of the 3 images of pattern vertex 1.
+	uncapped := NewSet(p.Edges(), 0)
+	uncapped.Add(Embedding{Map: []graph.V{0, 1}})
+	uncapped.Add(Embedding{Map: []graph.V{4, 1}})
+	uncapped.Add(Embedding{Map: []graph.V{5, 1}})
+	if got := uncapped.MNI(); got != 1 {
+		t.Errorf("uncapped MNI = %d, want 1", got)
+	}
+}
+
+// TestColumnarAccessors pins the Len/At/Embeddings view semantics of
+// the columnar store.
+func TestColumnarAccessors(t *testing.T) {
+	p := testutil.PathGraph(0, 0)
+	s := NewSet(p.Edges(), 0)
+	s.Add(Embedding{GID: 1, Map: []graph.V{1, 2}})
+	s.Add(Embedding{GID: 2, Map: []graph.V{3, 4}})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	e := s.At(1)
+	if e.GID != 2 || e.Map[0] != 3 || e.Map[1] != 4 {
+		t.Errorf("At(1) = %+v, want GID 2 map [3 4]", e)
+	}
+	all := s.Embeddings()
+	if len(all) != 2 || all[0].GID != 1 || all[0].Map[1] != 2 {
+		t.Errorf("Embeddings()[0] = %+v, want GID 1 map [1 2]", all[0])
+	}
+	// Adds must copy: the caller may reuse its map buffer.
+	buf := []graph.V{5, 6}
+	s.Add(Embedding{GID: 3, Map: buf})
+	buf[0], buf[1] = 9, 9
+	if e := s.At(2); e.Map[0] != 5 || e.Map[1] != 6 {
+		t.Errorf("Add aliased the caller's buffer: stored %v", e.Map)
+	}
+}
+
 func TestEmbeddingClone(t *testing.T) {
 	e := Embedding{GID: 1, Map: []graph.V{1, 2}}
 	c := e.Clone()

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench_baseline.sh — run the mine benchmarks with -benchmem and emit a
+# JSON summary (time/op, bytes/op, allocs/op per benchmark) so the bench
+# trajectory has machine-readable data points per PR.
+#
+#   ./scripts/bench_baseline.sh [out.json]
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value (default 1x: one full mine per
+#               variant; raise to 3x/1s locally for tighter numbers)
+#   BENCH_RE    benchmark regexp (default ^BenchmarkMineConcurrency)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_pr3.json}
+BENCHTIME=${BENCHTIME:-1x}
+BENCH_RE=${BENCH_RE:-^BenchmarkMineConcurrency}
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$BENCH_RE" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+      if ($(i+1) == "ns/op") ns = $i
+      if ($(i+1) == "B/op") bytes = $i
+      if ($(i+1) == "allocs/op") allocs = $i
+    }
+    rows[++n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                        name, iters, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+  }
+  END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime
+    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+    printf "  ]\n}\n"
+  }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"

@@ -151,7 +151,12 @@ type Options struct {
 	MaximalOnly bool
 	// ClosedOnly keeps only closed patterns (Algorithm 3, line 12).
 	ClosedOnly bool
-	// MaxPatterns caps the result size (0 = unlimited).
+	// MaxPatterns bounds how many patterns Stage II may generate
+	// (0 = unlimited). Each emitted pattern reserves one budget slot
+	// after dedup, and the cap is applied after validation/closed
+	// filtering: the run returns min(MaxPatterns, generated) of the
+	// filtered patterns. See the package README's "Support measures and
+	// result budgets" section.
 	MaxPatterns int
 	// Concurrency bounds the worker pool both mining stages use: Stage I
 	// path doubling/merging joins and Stage II seed growth. 0 (the
