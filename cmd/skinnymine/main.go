@@ -9,6 +9,13 @@
 //
 //	skinnymine -input graph.txt -support 2 -length 6 -delta 2
 //
+// Results can be constrained declaratively (-where, see the README's
+// "Constraint language" section) and ranked (-topk / -topkby):
+//
+//	skinnymine -input graph.txt -length 6 -delta 2 \
+//	    -where "contains(label='7') && !contains(label='0') && vertices<=10" \
+//	    -topk 5 -topkby size
+//
 // Output is one line per pattern: support, diameter length, skinniness,
 // sizes and the backbone label sequence.
 package main
@@ -38,12 +45,40 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit the full result as JSON")
 		conc     = flag.Int("concurrency", 0, "mining workers (0: one per CPU, 1: sequential)")
 		snapshot = flag.String("snapshot", "", "also write a DirectIndex snapshot (for skinnymined -index) to this file")
+		where    = flag.String("where", "", "declarative pattern constraint, e.g. \"contains(label='7') && vertices<=8\"")
+		topk     = flag.Int("topk", 0, "keep only the k best-ranked patterns (0: all); composes with -where")
+		topkBy   = flag.String("topkby", "support", "ranking measure for -topk: support | skinniness | size")
 	)
 	flag.Parse()
 	if *input == "" {
-		fmt.Fprintln(os.Stderr, "usage: skinnymine -input <file> [-support σ] [-length l] [-delta δ]")
+		fmt.Fprintln(os.Stderr, "usage: skinnymine -input <file> [-support σ] [-length l] [-delta δ] [-where expr] [-topk k]")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	// -topk composes with -where as the constraint language's result
+	// clause; a topk() already present in -where makes the flag a
+	// duplicate, which parsing reports. Parse once, up front: the same
+	// *Constraint drives validation, mining and the display decision.
+	whereSrc := *where
+	if *topk > 0 {
+		clause := fmt.Sprintf("topk(%d, by=%s)", *topk, *topkBy)
+		if whereSrc == "" {
+			whereSrc = clause
+		} else {
+			whereSrc = "(" + whereSrc + ") && " + clause
+		}
+	} else if *topkBy != "support" {
+		// -topkby only rides on -topk; silently ignoring it would let
+		// a forgotten -topk masquerade as a ranked run.
+		fatal(fmt.Errorf("-topkby %s requires -topk", *topkBy))
+	}
+	var whereExpr *skinnymine.Constraint
+	if whereSrc != "" {
+		var err error
+		if whereExpr, err = skinnymine.ParseConstraint(whereSrc); err != nil {
+			fatal(err)
+		}
 	}
 
 	in := os.Stdin
@@ -72,9 +107,15 @@ func main() {
 		ClosedOnly:  *closed,
 		MaxPatterns: *limit,
 		Concurrency: *conc,
+		WhereExpr:   whereExpr,
 	}
 	if *perGraph {
 		opt.Measure = skinnymine.GraphCount
+	}
+	// Same validation — and the same messages — as the library and the
+	// serving daemon, before any mining work starts.
+	if err := opt.Validate(); err != nil {
+		fatal(err)
 	}
 	res, err := mine(graphs, opt, *snapshot)
 	if err != nil {
@@ -91,12 +132,16 @@ func main() {
 		len(graphs), len(res.Patterns), res.Stats.DiamMineTime,
 		res.Stats.PathsMined, res.Stats.LevelGrowTime)
 	ps := res.Patterns
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].Vertices() != ps[j].Vertices() {
-			return ps[i].Vertices() > ps[j].Vertices()
-		}
-		return ps[i].Support() > ps[j].Support()
-	})
+	if !ranked(whereExpr) {
+		// Ad-hoc display order for unranked results; a topk clause
+		// already ordered (and truncated) the result itself.
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].Vertices() != ps[j].Vertices() {
+				return ps[i].Vertices() > ps[j].Vertices()
+			}
+			return ps[i].Support() > ps[j].Support()
+		})
+	}
 	for i, p := range ps {
 		if i >= *top {
 			fmt.Printf("# ... and %d more\n", len(ps)-*top)
@@ -126,7 +171,21 @@ func mine(graphs []*skinnymine.Graph, opt skinnymine.Options, snapshotPath strin
 	return res, ix.WriteSnapshotFile(snapshotPath)
 }
 
+// ranked reports whether the request carries a topk result clause, in
+// which case the mining result is already in ranking order.
+func ranked(c *skinnymine.Constraint) bool {
+	if c == nil {
+		return false
+	}
+	_, _, ok := c.TopK()
+	return ok
+}
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "skinnymine:", err)
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "skinnymine:") {
+		msg = "skinnymine: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
 	os.Exit(1)
 }

@@ -6,6 +6,9 @@
 //	synthgen -kind er -n 10000 -deg 3 -f 10      plain Erdős–Rényi
 //	synthgen -kind dblp -graphs 100              DBLP-like timelines
 //	synthgen -kind weibo -graphs 200             Weibo-like conversations
+//	synthgen -kind skew -n 2000 -f 8 -zipf 1.4   Zipf labels + planted
+//	                                             rare-label skinny motifs
+//	                                             (constraint selectivity)
 package main
 
 import (
@@ -20,14 +23,16 @@ import (
 
 func main() {
 	var (
-		kind   = flag.String("kind", "er", "er | gid | table3 | dblp | weibo")
+		kind   = flag.String("kind", "er", "er | gid | table3 | dblp | weibo | skew")
 		seed   = flag.Int64("seed", 1, "random seed")
-		n      = flag.Int("n", 1000, "er: vertex count")
-		deg    = flag.Float64("deg", 3, "er: average degree")
-		f      = flag.Int("f", 10, "er: label count")
+		n      = flag.Int("n", 1000, "er/skew: vertex count")
+		deg    = flag.Float64("deg", 3, "er/skew: average degree")
+		f      = flag.Int("f", 10, "er/skew: label count")
 		gid    = flag.Int("gid", 1, "gid: Table 1 row (1..5)")
 		scale  = flag.Float64("scale", 1.0, "table3: size scale")
 		graphs = flag.Int("graphs", 100, "dblp/weibo: graph count")
+		zipf   = flag.Float64("zipf", 1.4, "skew: Zipf label exponent (> 1, larger = more skewed)")
+		motifs = flag.Int("motifs", 6, "skew: planted rare-label motif copies")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
@@ -52,6 +57,13 @@ func main() {
 			Conversations: *graphs, AvgSize: 30,
 			ChainConversations: *graphs / 5, ChainLength: 13,
 		})
+	case "skew":
+		if *zipf <= 1 {
+			fatal(fmt.Errorf("zipf exponent must be > 1"))
+		}
+		out = []*graph.Graph{synth.Skew(rng, synth.SkewOptions{
+			N: *n, AvgDeg: *deg, Labels: *f, ZipfS: *zipf, Motifs: *motifs,
+		})}
 	default:
 		fatal(fmt.Errorf("unknown kind %q", *kind))
 	}

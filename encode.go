@@ -58,22 +58,30 @@ type StatsJSON struct {
 	FrequencyRejects  int     `json:"frequency_rejects"`
 	CheckMismatches   int     `json:"check_mismatches"`
 	OutputInvalid     int     `json:"output_invalid"`
+	// PushdownRejects counts candidates (Stage I join candidates and
+	// seeds, Stage II patterns with their ungrown subtrees) cut by
+	// Where-constraint pushdown; OutputFilterRejects counts patterns
+	// dropped by the per-pattern output check.
+	PushdownRejects     int `json:"pushdown_rejects"`
+	OutputFilterRejects int `json:"output_filter_rejects"`
 }
 
 // ToJSON converts the result into its serializable form.
 func (r *Result) ToJSON() ResultJSON {
 	out := ResultJSON{
 		Stats: StatsJSON{
-			DiamMineMillis:    float64(r.Stats.DiamMineTime.Microseconds()) / 1000,
-			LevelGrowMillis:   float64(r.Stats.LevelGrowTime.Microseconds()) / 1000,
-			PathsMined:        r.Stats.PathsMined,
-			ExtensionsTried:   r.Stats.ExtensionsTried,
-			Generated:         r.Stats.Generated,
-			Duplicates:        r.Stats.Duplicates,
-			ConstraintRejects: r.Stats.ConstraintRejects,
-			FrequencyRejects:  r.Stats.FrequencyRejects,
-			CheckMismatches:   r.Stats.CheckMismatches,
-			OutputInvalid:     r.Stats.OutputInvalid,
+			DiamMineMillis:      float64(r.Stats.DiamMineTime.Microseconds()) / 1000,
+			LevelGrowMillis:     float64(r.Stats.LevelGrowTime.Microseconds()) / 1000,
+			PathsMined:          r.Stats.PathsMined,
+			ExtensionsTried:     r.Stats.ExtensionsTried,
+			Generated:           r.Stats.Generated,
+			Duplicates:          r.Stats.Duplicates,
+			ConstraintRejects:   r.Stats.ConstraintRejects,
+			FrequencyRejects:    r.Stats.FrequencyRejects,
+			CheckMismatches:     r.Stats.CheckMismatches,
+			OutputInvalid:       r.Stats.OutputInvalid,
+			PushdownRejects:     r.Stats.PushdownRejects,
+			OutputFilterRejects: r.Stats.OutputFilterRejects,
 		},
 	}
 	for _, p := range r.Patterns {

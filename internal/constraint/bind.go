@@ -1,0 +1,160 @@
+package constraint
+
+import (
+	"skinnymine/internal/graph"
+)
+
+// Attrs is the attribute view a bound constraint evaluates against.
+type Attrs struct {
+	Vertices   int
+	Edges      int
+	Skinniness int
+	Support    int
+	// Labels are the pattern's vertex labels (any order; duplicates
+	// fine). The slice is only read.
+	Labels []graph.Label
+}
+
+// Bound is a constraint bound to a label vocabulary, ready to evaluate
+// against concrete patterns. Binding resolves every contains() label
+// name to its interned graph.Label once, so the hot-path checks never
+// touch strings. A Bound is read-only after creation and safe for
+// concurrent use by the mining worker pool.
+type Bound struct {
+	expr  Node
+	topk  *TopK
+	split Split
+	ids   map[string]graph.Label // label name -> id; missing names map to -1
+}
+
+// Bind resolves the constraint against lt. Labels absent from the
+// vocabulary bind to a sentinel no vertex carries, so contains() on an
+// unknown label is simply always false. supportAM declares whether
+// support is anti-monotone under the request's measure (Classify).
+func (c *Constraint) Bind(lt *graph.LabelTable, supportAM bool) *Bound {
+	b := &Bound{expr: c.Expr, topk: c.TopK, split: c.Classify(supportAM), ids: make(map[string]graph.Label)}
+	var resolve func(n Node)
+	resolve = func(n Node) {
+		switch n := n.(type) {
+		case *Contains:
+			if _, seen := b.ids[n.Label]; seen {
+				return
+			}
+			if id, ok := lt.Lookup(n.Label); ok {
+				b.ids[n.Label] = id
+			} else {
+				b.ids[n.Label] = -1
+			}
+		case *Not:
+			resolve(n.X)
+		case *And:
+			resolve(n.L)
+			resolve(n.R)
+		case *Or:
+			resolve(n.L)
+			resolve(n.R)
+		}
+	}
+	if c.Expr != nil {
+		resolve(c.Expr)
+	}
+	return b
+}
+
+// TopK returns the constraint's result clause, nil when absent.
+func (b *Bound) TopK() *TopK { return b.topk }
+
+// HasPushdown reports whether any conjunct can prune Stage II growth.
+func (b *Bound) HasPushdown() bool { return len(b.split.Pushdown) > 0 }
+
+// HasPathPushdown reports whether any conjunct can prune Stage I
+// candidate paths.
+func (b *Bound) HasPathPushdown() bool { return len(b.split.PathPushdown) > 0 }
+
+// RejectPath reports whether the Stage I pushdown rejects a candidate
+// path with the given label sequence (in either traversal order — every
+// pushed-down predicate is orientation-invariant). A path has len(seq)
+// vertices, len(seq)-1 edges and skinniness 0; support is unknown at
+// this point, so support-dependent conjuncts are not consulted.
+func (b *Bound) RejectPath(seq []graph.Label) bool {
+	if len(b.split.PathPushdown) == 0 {
+		return false
+	}
+	a := Attrs{Vertices: len(seq), Edges: len(seq) - 1, Labels: seq}
+	for _, conj := range b.split.PathPushdown {
+		if !b.eval(conj, &a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Reject reports whether the anti-monotone pushdown rejects a candidate
+// pattern: once true, every pattern grown from it is rejected too, so
+// the caller may cut the whole subtree.
+func (b *Bound) Reject(a Attrs) bool {
+	for _, conj := range b.split.Pushdown {
+		if !b.eval(conj, &a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Accept evaluates the full expression against an emitted pattern (the
+// per-pattern output check). A nil expression accepts everything.
+func (b *Bound) Accept(a Attrs) bool {
+	if b.expr == nil {
+		return true
+	}
+	return b.eval(b.expr, &a)
+}
+
+func (b *Bound) eval(n Node, a *Attrs) bool {
+	switch n := n.(type) {
+	case *And:
+		return b.eval(n.L, a) && b.eval(n.R, a)
+	case *Or:
+		return b.eval(n.L, a) || b.eval(n.R, a)
+	case *Not:
+		return !b.eval(n.X, a)
+	case *Cmp:
+		var v int
+		switch n.Attr {
+		case AttrVertices:
+			v = a.Vertices
+		case AttrEdges:
+			v = a.Edges
+		case AttrSkinniness:
+			v = a.Skinniness
+		case AttrSupport:
+			v = a.Support
+		}
+		switch n.Op {
+		case LE:
+			return v <= n.N
+		case LT:
+			return v < n.N
+		case GE:
+			return v >= n.N
+		case GT:
+			return v > n.N
+		case EQ:
+			return v == n.N
+		default:
+			return v != n.N
+		}
+	case *Contains:
+		id := b.ids[n.Label]
+		if id < 0 {
+			return false
+		}
+		for _, l := range a.Labels {
+			if l == id {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

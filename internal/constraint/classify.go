@@ -1,0 +1,130 @@
+package constraint
+
+// Monotonicity classification along the growth order. Growing a
+// pattern only adds vertices and edges, accumulates labels and never
+// lowers a vertex level, so those attributes move in one known
+// direction:
+//
+//	vertices, edges, skinniness  non-decreasing
+//	label set                    accumulating
+//
+// Support depends on the measure. Under the graph-transaction count a
+// super-pattern's supporting graph set is a subset of its
+// sub-pattern's, so support is exactly non-increasing. Under the
+// default embedding-subgraph count it is NOT: one parent embedding can
+// extend to several distinct child subgraphs (two twig choices off one
+// path), so a child's support may exceed its parent's, and support
+// atoms are unclassifiable — output-only. supportAM says which world
+// we are in.
+//
+// classify reports, for an arbitrary sub-expression:
+//
+//	am   — anti-monotone: violated at P implies violated at every
+//	       super-pattern of P (safe to prune the moment it fails);
+//	mono — monotone: satisfied at P implies satisfied at every
+//	       super-pattern (must wait for output: a pattern that fails
+//	       now may satisfy later).
+//
+// The two flags compose by the standard rules: negation swaps them,
+// conjunction and disjunction preserve a property only when both sides
+// have it. Equality and inequality tests are neither.
+func classify(n Node, supportAM bool) (am, mono bool) {
+	switch n := n.(type) {
+	case *Contains:
+		return false, true
+	case *Cmp:
+		if n.Attr == AttrSupport {
+			if !supportAM {
+				return false, false
+			}
+			// Non-increasing attribute: lower bounds are anti-monotone,
+			// upper bounds monotone.
+			switch n.Op {
+			case GE, GT:
+				return true, false
+			case LE, LT:
+				return false, true
+			default:
+				return false, false
+			}
+		}
+		// Non-decreasing attributes: upper bounds are anti-monotone,
+		// lower bounds monotone.
+		switch n.Op {
+		case LE, LT:
+			return true, false
+		case GE, GT:
+			return false, true
+		default: // EQ, NE
+			return false, false
+		}
+	case *Not:
+		am, mono = classify(n.X, supportAM)
+		return mono, am
+	case *And:
+		la, lm := classify(n.L, supportAM)
+		ra, rm := classify(n.R, supportAM)
+		return la && ra, lm && rm
+	case *Or:
+		la, lm := classify(n.L, supportAM)
+		ra, rm := classify(n.R, supportAM)
+		return la && ra, lm && rm
+	}
+	return false, false
+}
+
+// mentionsSupport reports whether the sub-expression reads the support
+// attribute, which Stage I cannot supply for a candidate path still
+// being assembled.
+func mentionsSupport(n Node) bool {
+	switch n := n.(type) {
+	case *Cmp:
+		return n.Attr == AttrSupport
+	case *Not:
+		return mentionsSupport(n.X)
+	case *And:
+		return mentionsSupport(n.L) || mentionsSupport(n.R)
+	case *Or:
+		return mentionsSupport(n.L) || mentionsSupport(n.R)
+	}
+	return false
+}
+
+// Split partitions a constraint's top-level conjuncts by pushdown
+// class. The full expression is still evaluated once per emitted
+// pattern (see Bound.Accept), so the split only decides what may prune
+// early — misplacing a conjunct into Output costs speed, never
+// correctness.
+type Split struct {
+	// Pushdown holds the anti-monotone conjuncts: safe to prune a
+	// candidate pattern (and its entire growth subtree) the moment one
+	// fails.
+	Pushdown []Node
+	// PathPushdown is the subset of Pushdown that never reads support,
+	// usable inside the Stage I bucket joins where a candidate path's
+	// frequency is not yet known.
+	PathPushdown []Node
+	// Output holds the remaining conjuncts — monotone or unclassifiable
+	// — deferred to the per-pattern output check.
+	Output []Node
+}
+
+// Classify splits the constraint's top-level conjunction for pushdown.
+// supportAM declares whether support is anti-monotone under the
+// request's measure: true for the graph-transaction count, false for
+// the embedding-subgraph count (see classify).
+func (c *Constraint) Classify(supportAM bool) Split {
+	var s Split
+	for _, conj := range flattenAnd(c.Expr) {
+		am, _ := classify(conj, supportAM)
+		if !am {
+			s.Output = append(s.Output, conj)
+			continue
+		}
+		s.Pushdown = append(s.Pushdown, conj)
+		if !mentionsSupport(conj) {
+			s.PathPushdown = append(s.PathPushdown, conj)
+		}
+	}
+	return s
+}

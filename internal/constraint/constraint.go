@@ -1,0 +1,311 @@
+// Package constraint implements the declarative pattern-constraint
+// language of the mining API: a small boolean expression grammar over
+// pattern attributes, a pushdown classifier that decides which parts of
+// an expression may prune *inside* the two mining stages, and an
+// evaluator bound to a label vocabulary.
+//
+// # Grammar
+//
+//	expr     := or
+//	or       := and ( "||" and )*
+//	and      := unary ( "&&" unary )*
+//	unary    := "!" unary | "(" expr ")" | atom
+//	atom     := "contains" "(" "label" "=" string ")"
+//	          | attr op number
+//	          | "topk" "(" number [ "," ["by" "="] by ] ")"
+//	attr     := "vertices" | "edges" | "skinniness" | "support"
+//	op       := "<=" | "<" | ">=" | ">" | "==" | "!="
+//	by       := "support" | "skinniness" | "size"
+//	string   := "'" chars "'"  |  '"' chars '"'
+//
+// Examples:
+//
+//	contains(label='A') && vertices<=8 && !contains(label='C')
+//	skinniness<=1 && support>=5
+//	(vertices<=6 || edges<=4) && topk(10, by=support)
+//
+// The "topk(k, by=m)" clause is not a predicate: it selects the k
+// best-ranked patterns from the filtered result and must appear as a
+// top-level conjunct (never under "!", "||" or more than once).
+//
+// # Pushdown classification
+//
+// Growing a pattern only ever adds vertices and edges, accumulates
+// labels, never lowers a vertex level, and never raises support. A
+// top-level conjunct is therefore classified by monotonicity along that
+// growth order:
+//
+//   - anti-monotone — once violated, violated by every super-pattern:
+//     vertices/edges/skinniness upper bounds, forbidden labels
+//     (!contains), support lower bounds under the graph-transaction
+//     measure (where support is exactly non-increasing), and any
+//     !/&&/|| combination of such parts. These conjuncts prune inside
+//     the Stage I bucket joins and the Stage II extension loops
+//     (Split.Pushdown; the support-free subset Split.PathPushdown
+//     applies to Stage I, where candidate path support is not yet
+//     known).
+//
+//   - monotone at output — once satisfied, satisfied forever, so a
+//     growing pattern must not be cut early: required labels
+//     (contains), vertices/edges/skinniness lower bounds. Checked once
+//     per emitted pattern, as is every conjunct that is neither
+//     (equality tests, mixed disjunctions, and — under the default
+//     embedding-subgraph measure — every support atom: one parent
+//     embedding can extend to several distinct child subgraphs, so
+//     embedding support moves in no fixed direction).
+//
+// Pruning an anti-monotone conjunct commutes with post-filtering the
+// complete result: the constrained result set is byte-identical to
+// mining unconstrained and filtering afterwards (pinned by the
+// pushdown-equivalence refguard in the root package).
+package constraint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attr names a numeric pattern attribute a comparison tests.
+type Attr int
+
+const (
+	// AttrVertices is the pattern vertex count |V|.
+	AttrVertices Attr = iota
+	// AttrEdges is the pattern edge count |E|.
+	AttrEdges
+	// AttrSkinniness is the largest vertex level (distance to the
+	// canonical diameter); 0 for a bare path.
+	AttrSkinniness
+	// AttrSupport is the pattern frequency under the request's support
+	// measure.
+	AttrSupport
+)
+
+// String returns the attribute's grammar keyword.
+func (a Attr) String() string {
+	switch a {
+	case AttrVertices:
+		return "vertices"
+	case AttrEdges:
+		return "edges"
+	case AttrSkinniness:
+		return "skinniness"
+	case AttrSupport:
+		return "support"
+	}
+	return fmt.Sprintf("attr(%d)", int(a))
+}
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+const (
+	// LE is <=.
+	LE CmpOp = iota
+	// LT is <.
+	LT
+	// GE is >=.
+	GE
+	// GT is >.
+	GT
+	// EQ is ==.
+	EQ
+	// NE is !=.
+	NE
+)
+
+// String returns the operator's grammar spelling.
+func (op CmpOp) String() string {
+	switch op {
+	case LE:
+		return "<="
+	case LT:
+		return "<"
+	case GE:
+		return ">="
+	case GT:
+		return ">"
+	case EQ:
+		return "=="
+	case NE:
+		return "!="
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// By selects the top-k ranking measure.
+type By int
+
+const (
+	// BySupport ranks by support, descending.
+	BySupport By = iota
+	// BySkinniness ranks by skinniness, ascending (skinnier first —
+	// the constrained-discovery target).
+	BySkinniness
+	// BySize ranks by vertex count then edge count, descending.
+	BySize
+)
+
+// String returns the measure's grammar keyword.
+func (b By) String() string {
+	switch b {
+	case BySupport:
+		return "support"
+	case BySkinniness:
+		return "skinniness"
+	case BySize:
+		return "size"
+	}
+	return fmt.Sprintf("by(%d)", int(b))
+}
+
+// TopK is the result clause "topk(k, by=m)": keep the K best-ranked
+// patterns of the filtered result. Ranking is deterministic — ties fall
+// back to the canonical output order.
+type TopK struct {
+	K  int
+	By By
+}
+
+// Node is one node of a parsed constraint expression.
+type Node interface {
+	// print writes the canonical rendering.
+	print(b *strings.Builder)
+	// prec is the node's precedence (1 ||, 2 &&, 3 !, 4 atoms), used
+	// to parenthesize minimally in the canonical rendering.
+	prec() int
+}
+
+// printChild renders a sub-expression, parenthesized when its
+// precedence is lower than the parent's.
+func printChild(b *strings.Builder, child Node, parentPrec int) {
+	if child.prec() < parentPrec {
+		b.WriteByte('(')
+		child.print(b)
+		b.WriteByte(')')
+		return
+	}
+	child.print(b)
+}
+
+// And is a conjunction.
+type And struct{ L, R Node }
+
+func (n *And) prec() int { return 2 }
+func (n *And) print(b *strings.Builder) {
+	printChild(b, n.L, 2)
+	b.WriteString(" && ")
+	printChild(b, n.R, 2)
+}
+
+// Or is a disjunction.
+type Or struct{ L, R Node }
+
+func (n *Or) prec() int { return 1 }
+func (n *Or) print(b *strings.Builder) {
+	printChild(b, n.L, 1)
+	b.WriteString(" || ")
+	printChild(b, n.R, 1)
+}
+
+// Not is a negation.
+type Not struct{ X Node }
+
+func (n *Not) prec() int { return 3 }
+func (n *Not) print(b *strings.Builder) {
+	b.WriteByte('!')
+	printChild(b, n.X, 3)
+}
+
+// Cmp compares a numeric pattern attribute against a constant.
+type Cmp struct {
+	Attr Attr
+	Op   CmpOp
+	N    int
+}
+
+func (n *Cmp) prec() int { return 4 }
+func (n *Cmp) print(b *strings.Builder) {
+	fmt.Fprintf(b, "%s%s%d", n.Attr, n.Op, n.N)
+}
+
+// Contains tests whether the pattern has a vertex with the given label.
+type Contains struct{ Label string }
+
+func (n *Contains) prec() int { return 4 }
+func (n *Contains) print(b *strings.Builder) {
+	fmt.Fprintf(b, "contains(label=%s)", quoteLabel(n.Label))
+}
+
+// quoteLabel renders a label literal, preferring single quotes.
+func quoteLabel(s string) string {
+	if !strings.Contains(s, "'") {
+		return "'" + s + "'"
+	}
+	return `"` + s + `"`
+}
+
+// topkNode is the parse-time form of the topk clause; Parse extracts it
+// into Constraint.TopK and rejects it anywhere but a top-level conjunct.
+type topkNode struct {
+	k   int
+	by  By
+	pos int
+}
+
+func (n *topkNode) prec() int { return 4 }
+func (n *topkNode) print(b *strings.Builder) {
+	fmt.Fprintf(b, "topk(%d, by=%s)", n.k, n.by)
+}
+
+// Constraint is a parsed constraint: a boolean expression over pattern
+// attributes (nil when the source was only a topk clause) plus an
+// optional top-k result clause.
+type Constraint struct {
+	Expr Node
+	TopK *TopK
+}
+
+// String returns the canonical rendering: fixed spacing and minimal
+// parentheses, with the topk clause last. Whitespace variants of one
+// expression parse to the same AST and therefore share one canonical
+// string — the property the serving daemon's cache key relies on.
+func (c *Constraint) String() string {
+	var b strings.Builder
+	if c.Expr != nil {
+		c.Expr.print(&b)
+	}
+	if c.TopK != nil {
+		if b.Len() > 0 {
+			b.WriteString(" && ")
+		}
+		fmt.Fprintf(&b, "topk(%d, by=%s)", c.TopK.K, c.TopK.By)
+	}
+	return b.String()
+}
+
+// flattenAnd returns the top-level conjuncts of n (n itself when it is
+// not a conjunction, nothing when nil).
+func flattenAnd(n Node) []Node {
+	if n == nil {
+		return nil
+	}
+	if a, ok := n.(*And); ok {
+		return append(flattenAnd(a.L), flattenAnd(a.R)...)
+	}
+	return []Node{n}
+}
+
+// conjoin rebuilds a left-associated conjunction from conjuncts; nil
+// for an empty list.
+func conjoin(conjs []Node) Node {
+	var out Node
+	for _, c := range conjs {
+		if out == nil {
+			out = c
+			continue
+		}
+		out = &And{L: out, R: c}
+	}
+	return out
+}

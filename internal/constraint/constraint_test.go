@@ -1,0 +1,238 @@
+package constraint
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"skinnymine/internal/graph"
+)
+
+func mustParse(t *testing.T, src string) *Constraint {
+	t.Helper()
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return c
+}
+
+func TestParseCanonicalString(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"contains(label='A')", "contains(label='A')"},
+		{`contains( label = "A" )`, "contains(label='A')"},
+		{"vertices<=8", "vertices<=8"},
+		{"  vertices \t<= 8 ", "vertices<=8"},
+		{"vertices<=8&&edges>2", "vertices<=8 && edges>2"},
+		{"!contains(label='C')", "!contains(label='C')"},
+		{"!(vertices>=3 || edges>=9)", "!(vertices>=3 || edges>=9)"},
+		{"(vertices<=8)&&(skinniness<=1||support>=4)", "vertices<=8 && (skinniness<=1 || support>=4)"},
+		{"a_label_attr_free_topk_only_is_invalid==0 || vertices!=2", ""}, // unknown predicate → error, checked below
+		{"topk(10)", "topk(10, by=support)"},
+		{"topk(10,size)", "topk(10, by=size)"},
+		{"topk( 10 , by = skinniness )", "topk(10, by=skinniness)"},
+		{"vertices<=8 && topk(3)", "vertices<=8 && topk(3, by=support)"},
+		{"topk(3) && vertices<=8 && edges<=9", "vertices<=8 && edges<=9 && topk(3, by=support)"},
+		{"contains(label='A') && vertices<=8 && !contains(label='C') && skinniness<=1",
+			"contains(label='A') && vertices<=8 && !contains(label='C') && skinniness<=1"},
+	}
+	for _, tc := range cases {
+		c, err := Parse(tc.src)
+		if tc.want == "" {
+			if err == nil {
+				t.Errorf("Parse(%q): expected error, got %q", tc.src, c.String())
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.src, err)
+			continue
+		}
+		if got := c.String(); got != tc.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", tc.src, got, tc.want)
+		}
+		// The canonical form must be a fixed point: parsing it again
+		// yields the same string (the daemon's cache-key property).
+		again, err := Parse(tc.want)
+		if err != nil {
+			t.Errorf("Parse(canonical %q): %v", tc.want, err)
+			continue
+		}
+		if got := again.String(); got != tc.want {
+			t.Errorf("canonical %q re-parses to %q", tc.want, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, wantMsg string }{
+		{"", "empty constraint"},
+		{"   ", "empty constraint"},
+		{"vertices", "comparison operator"},
+		{"vertices <= ", "non-negative integer"},
+		{"bogus<=3", "unknown predicate"},
+		{"contains(tag='A')", "label"},
+		{"contains(label='A'", ")"},
+		{"contains(label='A)", "unterminated label string"},
+		{"vertices<=8 &&", "predicate"},
+		{"vertices<=8 & edges<=2", "&&"},
+		{"vertices<=8 || | edges<=2", "||"},
+		{"(vertices<=8", ")"},
+		{"vertices<=8)", "trailing input"},
+		{"topk(0)", "topk count must be >= 1"},
+		{"topk(3, by=vibes)", "unknown topk measure"},
+		{"topk(3) && topk(4)", "duplicate topk"},
+		{"!topk(3)", "top-level conjunct"},
+		{"vertices<=8 || topk(3)", "top-level conjunct"},
+		{"vertices == eight", "non-negative integer"},
+		{"vertices<=8 # comment", "unexpected character"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q, got nil", tc.src, tc.wantMsg)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q): error %T is not a *ParseError", tc.src, err)
+		}
+		if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("Parse(%q): error %q does not contain %q", tc.src, err, tc.wantMsg)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		src          string
+		supportAM    bool
+		pushdown     int // anti-monotone conjuncts
+		pathPushdown int // ... of which Stage-I-usable
+		output       int
+	}{
+		{"vertices<=8", false, 1, 1, 0},
+		{"vertices<8", false, 1, 1, 0},
+		{"vertices>=8", false, 0, 0, 1},
+		{"vertices==8", false, 0, 0, 1},
+		{"vertices!=8", false, 0, 0, 1},
+		{"edges<=4", false, 1, 1, 0},
+		{"skinniness<=1", false, 1, 1, 0},
+		{"skinniness>=1", false, 0, 0, 1},
+		// Support atoms: anti-monotone only under the graph-transaction
+		// measure (supportAM); unclassifiable under embedding counting.
+		{"support>=5", true, 1, 0, 0},
+		{"support>=5", false, 0, 0, 1},
+		{"support<=5", true, 0, 0, 1},
+		{"support<=5", false, 0, 0, 1},
+		{"contains(label='A')", false, 0, 0, 1},
+		{"!contains(label='C')", false, 1, 1, 0},
+		{"!!contains(label='A')", false, 0, 0, 1},
+		{"vertices<=8 && edges<=4", false, 2, 2, 0},
+		{"vertices<=8 && contains(label='A')", false, 1, 1, 1},
+		{"vertices<=8 || edges<=4", false, 1, 1, 0},               // both sides AM → AM
+		{"vertices<=8 || contains(label='A')", false, 0, 0, 1},    // mixed → output only
+		{"!(contains(label='C') || vertices>=9)", false, 1, 1, 0}, // ¬(mono ∨ mono) is AM
+		{"!(vertices<=3 && support>=2)", true, 0, 0, 1},           // ¬(AM ∧ AM) is monotone
+		{"!(support<=4)", true, 1, 0, 0},                          // ¬(mono) is AM...
+		{"!(support<=4)", false, 0, 0, 1},                         // ...but only when support orders
+		{"support>=5 && vertices<=6 && contains(label='A')", true, 2, 1, 1},
+		{"support>=5 && vertices<=6 && contains(label='A')", false, 1, 1, 2},
+	}
+	for _, tc := range cases {
+		s := mustParse(t, tc.src).Classify(tc.supportAM)
+		if len(s.Pushdown) != tc.pushdown || len(s.PathPushdown) != tc.pathPushdown || len(s.Output) != tc.output {
+			t.Errorf("Classify(%q, supportAM=%v) = push %d / path %d / out %d, want %d / %d / %d",
+				tc.src, tc.supportAM, len(s.Pushdown), len(s.PathPushdown), len(s.Output),
+				tc.pushdown, tc.pathPushdown, tc.output)
+		}
+	}
+}
+
+func testTable() *graph.LabelTable {
+	lt := graph.NewLabelTable()
+	for _, name := range []string{"A", "B", "C"} {
+		lt.Intern(name)
+	}
+	return lt
+}
+
+func TestBoundEval(t *testing.T) {
+	lt := testTable()
+	a, _ := lt.Lookup("A")
+	b, _ := lt.Lookup("B")
+	c, _ := lt.Lookup("C")
+
+	abc := []graph.Label{a, b, c}
+	ab := []graph.Label{a, b}
+	cases := []struct {
+		src    string
+		attrs  Attrs
+		accept bool
+	}{
+		{"contains(label='A')", Attrs{Labels: ab}, true},
+		{"contains(label='C')", Attrs{Labels: ab}, false},
+		{"contains(label='Z')", Attrs{Labels: abc}, false}, // unknown label never matches
+		{"!contains(label='C')", Attrs{Labels: ab}, true},
+		{"vertices<=8", Attrs{Vertices: 8}, true},
+		{"vertices<8", Attrs{Vertices: 8}, false},
+		{"edges>=3 && edges<=5", Attrs{Edges: 4}, true},
+		{"skinniness==1", Attrs{Skinniness: 1}, true},
+		{"skinniness!=1", Attrs{Skinniness: 1}, false},
+		{"support>=5 || contains(label='B')", Attrs{Support: 2, Labels: ab}, true},
+		{"!(vertices>=3 || edges>=9)", Attrs{Vertices: 2, Edges: 1}, true},
+		{"!(vertices>=3 || edges>=9)", Attrs{Vertices: 3, Edges: 1}, false},
+	}
+	for _, tc := range cases {
+		bound := mustParse(t, tc.src).Bind(lt, true)
+		if got := bound.Accept(tc.attrs); got != tc.accept {
+			t.Errorf("Accept(%q, %+v) = %v, want %v", tc.src, tc.attrs, got, tc.accept)
+		}
+	}
+}
+
+func TestBoundRejectPath(t *testing.T) {
+	lt := testTable()
+	a, _ := lt.Lookup("A")
+	c, _ := lt.Lookup("C")
+
+	bound := mustParse(t, "!contains(label='C') && vertices<=4 && support>=3").Bind(lt, true)
+	if !bound.HasPathPushdown() || !bound.HasPushdown() {
+		t.Fatal("expected pushdown conjuncts")
+	}
+	if bound.RejectPath([]graph.Label{a, a, a}) {
+		t.Error("clean 3-vertex path rejected")
+	}
+	if !bound.RejectPath([]graph.Label{a, c, a}) {
+		t.Error("forbidden-label path not rejected")
+	}
+	if !bound.RejectPath([]graph.Label{a, a, a, a, a}) {
+		t.Error("over-long path not rejected")
+	}
+	// support>=3 is pushdown but not path-pushdown: a path must not be
+	// cut on a support value Stage I cannot know.
+	if bound.RejectPath([]graph.Label{a, a}) {
+		t.Error("support conjunct leaked into the Stage I path check")
+	}
+	if !bound.Reject(Attrs{Vertices: 2, Edges: 1, Support: 2, Labels: []graph.Label{a, a}}) {
+		t.Error("infrequent pattern not rejected by the support pushdown")
+	}
+}
+
+func TestBoundTopKOnly(t *testing.T) {
+	c := mustParse(t, "topk(5, by=size)")
+	if c.Expr != nil {
+		t.Fatalf("topk-only constraint has expression %v", c.Expr)
+	}
+	bound := c.Bind(testTable(), false)
+	if bound.HasPushdown() || bound.HasPathPushdown() {
+		t.Error("topk-only constraint claims pushdown")
+	}
+	if !bound.Accept(Attrs{}) {
+		t.Error("topk-only constraint rejected a pattern")
+	}
+	tk := bound.TopK()
+	if tk == nil || tk.K != 5 || tk.By != BySize {
+		t.Errorf("TopK = %+v, want K=5 By=size", tk)
+	}
+}

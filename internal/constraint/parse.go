@@ -1,0 +1,393 @@
+package constraint
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ParseError reports where and why a constraint failed to parse.
+type ParseError struct {
+	Src string // the source expression
+	Pos int    // byte offset of the failure
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("constraint: %s at offset %d in %q", e.Msg, e.Pos, e.Src)
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokAndAnd // &&
+	tokOrOr   // ||
+	tokBang   // !
+	tokLParen
+	tokRParen
+	tokComma
+	tokAssign // =
+	tokCmp    // <= < >= > == !=
+)
+
+type token struct {
+	kind tokKind
+	text string // ident/string/number text
+	op   CmpOp  // for tokCmp
+	n    int    // for tokNumber
+	pos  int
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentRest(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	fail := func(pos int, format string, args ...any) ([]token, error) {
+		return nil, &ParseError{Src: src, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, pos: i})
+			i++
+		case c == '&':
+			if i+1 >= len(src) || src[i+1] != '&' {
+				return fail(i, "expected && (single & is not an operator)")
+			}
+			toks = append(toks, token{kind: tokAndAnd, pos: i})
+			i += 2
+		case c == '|':
+			if i+1 >= len(src) || src[i+1] != '|' {
+				return fail(i, "expected || (single | is not an operator)")
+			}
+			toks = append(toks, token{kind: tokOrOr, pos: i})
+			i += 2
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokCmp, op: NE, pos: i})
+				i += 2
+				break
+			}
+			toks = append(toks, token{kind: tokBang, pos: i})
+			i++
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokCmp, op: LE, pos: i})
+				i += 2
+				break
+			}
+			toks = append(toks, token{kind: tokCmp, op: LT, pos: i})
+			i++
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokCmp, op: GE, pos: i})
+				i += 2
+				break
+			}
+			toks = append(toks, token{kind: tokCmp, op: GT, pos: i})
+			i++
+		case c == '=':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokCmp, op: EQ, pos: i})
+				i += 2
+				break
+			}
+			toks = append(toks, token{kind: tokAssign, pos: i})
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < len(src) && src[j] != quote {
+				if src[j] == '\n' {
+					return fail(i, "unterminated label string")
+				}
+				j++
+			}
+			if j >= len(src) {
+				return fail(i, "unterminated label string")
+			}
+			toks = append(toks, token{kind: tokString, text: src[i+1 : j], pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			n, err := strconv.Atoi(src[i:j])
+			if err != nil {
+				return fail(i, "bad number %q", src[i:j])
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], n: n, pos: i})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentRest(src[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], pos: i})
+			i = j
+		default:
+			return fail(i, "unexpected character %q", string(c))
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) fail(pos int, format string, args ...any) error {
+	return &ParseError{Src: p.src, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, p.fail(t.pos, "expected %s", what)
+	}
+	return t, nil
+}
+
+// Parse parses a constraint expression into its typed AST, extracting
+// the optional topk clause. The empty string is an error — callers
+// treat "no constraint" as the absence of an expression, not as one.
+func Parse(src string) (*Constraint, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	if p.peek().kind == tokEOF {
+		return nil, p.fail(0, "empty constraint expression")
+	}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.fail(t.pos, "unexpected trailing input")
+	}
+
+	// Pull the topk clause out of the top-level conjunction; anywhere
+	// deeper it has no boolean meaning and is rejected.
+	var tk *TopK
+	var rest []Node
+	for _, conj := range flattenAnd(root) {
+		t, ok := conj.(*topkNode)
+		if !ok {
+			rest = append(rest, conj)
+			continue
+		}
+		if tk != nil {
+			return nil, p.fail(t.pos, "duplicate topk clause")
+		}
+		tk = &TopK{K: t.k, By: t.by}
+	}
+	for _, conj := range rest {
+		if pos, nested := findTopK(conj); nested {
+			return nil, p.fail(pos, "topk must be a top-level conjunct")
+		}
+	}
+	return &Constraint{Expr: conjoin(rest), TopK: tk}, nil
+}
+
+// findTopK reports a topk node nested anywhere under n.
+func findTopK(n Node) (pos int, found bool) {
+	switch n := n.(type) {
+	case *topkNode:
+		return n.pos, true
+	case *And:
+		if pos, ok := findTopK(n.L); ok {
+			return pos, true
+		}
+		return findTopK(n.R)
+	case *Or:
+		if pos, ok := findTopK(n.L); ok {
+			return pos, true
+		}
+		return findTopK(n.R)
+	case *Not:
+		return findTopK(n.X)
+	}
+	return 0, false
+}
+
+func (p *parser) parseOr() (Node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOrOr {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAndAnd {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	switch t := p.peek(); t.kind {
+	case tokBang:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	case tokLParen:
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return p.parseAtom()
+	}
+}
+
+func (p *parser) parseAtom() (Node, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, p.fail(t.pos, "expected a predicate (contains, vertices, edges, skinniness, support or topk)")
+	}
+	switch t.text {
+	case "contains":
+		return p.parseContains(t)
+	case "topk":
+		return p.parseTopK(t)
+	case "vertices", "edges", "skinniness", "support":
+		attr := map[string]Attr{
+			"vertices":   AttrVertices,
+			"edges":      AttrEdges,
+			"skinniness": AttrSkinniness,
+			"support":    AttrSupport,
+		}[t.text]
+		op, err := p.expect(tokCmp, "a comparison operator (<=, <, >=, >, ==, !=)")
+		if err != nil {
+			return nil, err
+		}
+		n, err := p.expect(tokNumber, "a non-negative integer")
+		if err != nil {
+			return nil, err
+		}
+		return &Cmp{Attr: attr, Op: op.op, N: n.n}, nil
+	default:
+		return nil, p.fail(t.pos, "unknown predicate %q (want contains, vertices, edges, skinniness, support or topk)", t.text)
+	}
+}
+
+// parseContains parses contains(label='X') with the leading ident
+// already consumed.
+func (p *parser) parseContains(kw token) (Node, error) {
+	if _, err := p.expect(tokLParen, "( after contains"); err != nil {
+		return nil, err
+	}
+	key, err := p.expect(tokIdent, `"label"`)
+	if err != nil {
+		return nil, err
+	}
+	if key.text != "label" {
+		return nil, p.fail(key.pos, "contains takes label=..., got %q", key.text)
+	}
+	if _, err := p.expect(tokAssign, "= after label"); err != nil {
+		return nil, err
+	}
+	lab, err := p.expect(tokString, "a quoted label")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, ") after the label"); err != nil {
+		return nil, err
+	}
+	return &Contains{Label: lab.text}, nil
+}
+
+// parseTopK parses topk(k[, [by=]measure]) with the leading ident
+// already consumed.
+func (p *parser) parseTopK(kw token) (Node, error) {
+	if _, err := p.expect(tokLParen, "( after topk"); err != nil {
+		return nil, err
+	}
+	k, err := p.expect(tokNumber, "a pattern count")
+	if err != nil {
+		return nil, err
+	}
+	if k.n < 1 {
+		return nil, p.fail(k.pos, "topk count must be >= 1, got %d", k.n)
+	}
+	by := BySupport
+	if p.peek().kind == tokComma {
+		p.next()
+		m, err := p.expect(tokIdent, "a ranking measure (support, skinniness or size)")
+		if err != nil {
+			return nil, err
+		}
+		if m.text == "by" && p.peek().kind == tokAssign {
+			p.next()
+			if m, err = p.expect(tokIdent, "a ranking measure (support, skinniness or size)"); err != nil {
+				return nil, err
+			}
+		}
+		switch m.text {
+		case "support":
+			by = BySupport
+		case "skinniness":
+			by = BySkinniness
+		case "size":
+			by = BySize
+		default:
+			return nil, p.fail(m.pos, "unknown topk measure %q (want support, skinniness or size)", m.text)
+		}
+	}
+	if _, err := p.expect(tokRParen, ") after the topk clause"); err != nil {
+		return nil, err
+	}
+	return &topkNode{k: k.n, by: by, pos: kw.pos}, nil
+}

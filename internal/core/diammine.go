@@ -210,6 +210,14 @@ type DiamMiner struct {
 	// holding mu for the full Stage I cost.
 	matMu        sync.Mutex
 	materialized map[int]struct{}
+
+	// prune is the optional Stage I constraint-pushdown hook
+	// (Options.PrunePath), applied to every candidate path inside the
+	// bucket joins. Only request-private miners may set it: pruned
+	// joins produce pruned cached levels, which must never happen at
+	// an index shared across requests with different constraints.
+	prune  func(seq []graph.Label) bool
+	pruned atomic.Int64 // join candidates cut by prune, folded into Stats
 }
 
 // NewDiamMiner returns a miner over the given graphs with threshold σ.
@@ -562,6 +570,15 @@ func (m *DiamMiner) bucketAdd(buckets bucketMap, sc *joinScratch, e PathEmb) {
 	sc.labels = sc.labels[:0]
 	for _, v := range e.Seq {
 		sc.labels = append(sc.labels, g.Label(v))
+	}
+	// Constraint pushdown inside the join: an anti-monotone violation
+	// (forbidden label, size cap) can never be repaired by the longer
+	// paths later levels assemble from this candidate, so it is cut
+	// before it is even hashed. Sequences reach the hook in traversal
+	// order; the pushed-down predicates are orientation-invariant.
+	if m.prune != nil && m.prune(sc.labels) {
+		m.pruned.Add(1)
+		return
 	}
 	fwd := canonLabelsForward(sc.labels)
 	h := hashLabelsDir(sc.labels, fwd)

@@ -199,6 +199,14 @@ func (m *miner) greedyLevelGrow(p *Pattern, level int32, sc *growScratch) []*Pat
 				}
 				continue
 			}
+			// Constraint pushdown: greedy growth must not absorb an
+			// extension the constraint forbids — skipping it here is
+			// what makes MaximalOnly discover *constrained* maximal
+			// patterns instead of post-filtering everything away.
+			if m.rejectPushdown(child) {
+				m.stats.pushdownRejects.Add(1)
+				continue
+			}
 			cur = child
 			applied = true
 			grew = true
@@ -258,6 +266,14 @@ func (m *miner) levelGrow(p *Pattern, level int32, sc *growScratch) []*Pattern {
 					if reason == passed {
 						m.stats.frequencyRejects.Add(1)
 					}
+					continue
+				}
+				// Constraint pushdown, before the (expensive) canonical
+				// code: an anti-monotone violation cuts the child and
+				// its whole subtree, exactly the patterns the output
+				// filter would have dropped one by one.
+				if m.rejectPushdown(child) {
+					m.stats.pushdownRejects.Add(1)
 					continue
 				}
 				m.stats.generated.Add(1)

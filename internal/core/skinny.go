@@ -75,6 +75,36 @@ type Options struct {
 	// with Concurrency > 1, where which patterns win the budget race is
 	// scheduling-dependent (the count still honors the cap).
 	Concurrency int
+
+	// The three constraint-pushdown hooks below are how a declarative
+	// pattern constraint (internal/constraint) reaches the mining hot
+	// paths. All are optional; each must be safe for concurrent calls
+	// from the worker pool and must be isomorphism-invariant (decide
+	// from counts and labels, never from vertex identity), which keeps
+	// pruning consistent with the shared canonical-code dedup and the
+	// determinism guarantee above.
+
+	// PrunePath is the Stage I pushdown hook: called with the vertex
+	// label sequence of every candidate path assembled by the bucket
+	// joins (in traversal order — the hook must be orientation-
+	// invariant) and with every mined seed backbone before Stage II.
+	// Returning true drops the candidate. Sound only for anti-monotone
+	// predicates: a longer path contains every label of its sub-paths
+	// and only adds vertices and edges, so a violated predicate stays
+	// violated in everything assembled from the pruned path.
+	PrunePath func(seq []graph.Label) bool
+	// PrunePattern is the Stage II pushdown hook: called on every
+	// candidate pattern that passed Constraints I–III and the frequency
+	// threshold (seeds included), before dedup. Returning true drops
+	// the pattern and its entire growth subtree. Sound only for anti-
+	// monotone predicates over (vertices, edges, skinniness, support):
+	// growth never shrinks the first three and never raises support.
+	PrunePattern func(g *graph.Graph, skinniness int32, support int) bool
+	// OutputFilter is the monotone-at-output side: evaluated once per
+	// pattern surviving validation, before ClosedOnly (closedness is
+	// judged within the constrained result set). Returning false drops
+	// the pattern; rejections are counted in Stats.OutputFilterRejects.
+	OutputFilter func(g *graph.Graph, skinniness int32, support int) bool
 }
 
 // DefaultOptions returns the recommended defaults for (l,δ)-SPM.
@@ -103,6 +133,13 @@ type Stats struct {
 	FrequencyRejects  int
 	CheckMismatches   int // CheckVerify disagreements (fast vs naive)
 	OutputInvalid     int // patterns failing final validation
+	// PushdownRejects counts candidates cut by the constraint-pushdown
+	// hooks: Stage I join candidates and seeds dropped by PrunePath
+	// plus Stage II patterns (and their ungrown subtrees) dropped by
+	// PrunePattern. OutputFilterRejects counts patterns dropped by the
+	// per-pattern OutputFilter check.
+	PushdownRejects     int
+	OutputFilterRejects int
 }
 
 // Result is the output of a mining run.
@@ -142,13 +179,15 @@ func (m *miner) budgetExhausted() bool {
 // shared by every Stage II worker, so each counter is atomic. The
 // public Stats snapshot is taken once, after the pool drains.
 type statCounters struct {
-	extensionsTried   atomic.Int64
-	generated         atomic.Int64
-	duplicates        atomic.Int64
-	constraintRejects [3]atomic.Int64
-	frequencyRejects  atomic.Int64
-	checkMismatches   atomic.Int64
-	outputInvalid     atomic.Int64
+	extensionsTried     atomic.Int64
+	generated           atomic.Int64
+	duplicates          atomic.Int64
+	constraintRejects   [3]atomic.Int64
+	frequencyRejects    atomic.Int64
+	checkMismatches     atomic.Int64
+	outputInvalid       atomic.Int64
+	pushdownRejects     atomic.Int64
+	outputFilterRejects atomic.Int64
 }
 
 func (c *statCounters) snapshot(s *Stats) {
@@ -161,6 +200,8 @@ func (c *statCounters) snapshot(s *Stats) {
 	s.FrequencyRejects = int(c.frequencyRejects.Load())
 	s.CheckMismatches = int(c.checkMismatches.Load())
 	s.OutputInvalid = int(c.outputInvalid.Load())
+	s.PushdownRejects = int(c.pushdownRejects.Load())
+	s.OutputFilterRejects = int(c.outputFilterRejects.Load())
 }
 
 // codeShards is the stripe count of the canonical-code dedup set. 64
@@ -227,6 +268,12 @@ func MineDB(graphs []*graph.Graph, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The miner is request-private, so the Stage I pushdown may prune
+	// inside the bucket joins themselves without corrupting a shared
+	// level cache. MineWithIndex serves many requests from one miner
+	// and therefore prunes at seed selection instead (same result set,
+	// less Stage I work saved).
+	dm.prune = opt.PrunePath
 	return mineWithDiamMiner(dm, graphs, opt)
 }
 
@@ -296,7 +343,25 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 		if err != nil {
 			return nil, err
 		}
-		seeds = append(seeds, ps...)
+		if opt.PrunePath == nil {
+			seeds = append(seeds, ps...)
+			continue
+		}
+		// Seed-level Stage I pushdown. On a request-private miner the
+		// joins pruned these candidates already (this pass sees only
+		// survivors); on a shared index the levels are complete and
+		// this is where forbidden seeds — and every pattern that would
+		// have grown from them — leave the search.
+		for _, pp := range ps {
+			if opt.PrunePath(pp.Seq) {
+				m.stats.pushdownRejects.Add(1)
+				continue
+			}
+			seeds = append(seeds, pp)
+		}
+	}
+	if dm.prune != nil {
+		m.stats.pushdownRejects.Add(dm.pruned.Load())
 	}
 	stats.DiamMineTime = time.Since(t0)
 	stats.PathsMined = len(seeds)
@@ -355,6 +420,9 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 	if opt.ValidateOutput {
 		out = m.validateOutput(out, lo)
 	}
+	if opt.OutputFilter != nil {
+		out = m.filterOutput(out)
+	}
 	if opt.ClosedOnly {
 		out = closedOnly(out)
 	}
@@ -379,6 +447,13 @@ func (m *miner) growSeed(pp *PathPattern, maxDelta int, sc *growScratch) []*Patt
 		return nil
 	}
 	p0 := newPatternFromPath(pp, m.graphs, m.opt.MaxEmbeddings)
+	// Support-dependent pushdown conjuncts could not run at seed
+	// selection (path support measures differ from pattern support);
+	// they cut the seed — and its whole cluster — here instead.
+	if m.rejectPushdown(p0) {
+		m.stats.pushdownRejects.Add(1)
+		return nil
+	}
 	if !m.dedup(p0) {
 		return nil
 	}
@@ -418,6 +493,33 @@ func (m *miner) growSeed(pp *PathPattern, maxDelta int, sc *growScratch) []*Patt
 func (m *miner) dedup(p *Pattern) bool {
 	p.codeKey = dfscode.MinCodeKey(p.G)
 	return m.codes.insert(string(append4(nil, p.DiamLen)) + p.codeKey)
+}
+
+// rejectPushdown applies the Stage II pushdown hook to a candidate
+// pattern. True means the pattern and everything grown from it leave
+// the search: the hook carries only anti-monotone predicates, so a
+// violation here is a violation in the entire subtree.
+func (m *miner) rejectPushdown(p *Pattern) bool {
+	if m.opt.PrunePattern == nil {
+		return false
+	}
+	return m.opt.PrunePattern(p.G, p.MaxLevel(), p.Embs.Count(m.opt.Measure))
+}
+
+// filterOutput applies the declarative output filter once per emitted
+// pattern — the monotone-at-output side of constraint pushdown. It runs
+// before closedOnly, so closedness is judged within the constrained
+// result set.
+func (m *miner) filterOutput(ps []*Pattern) []*Pattern {
+	out := ps[:0]
+	for _, p := range ps {
+		if !m.opt.OutputFilter(p.G, p.MaxLevel(), p.Embs.Count(m.opt.Measure)) {
+			m.stats.outputFilterRejects.Add(1)
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 // validateOutput drops patterns whose canonical diameter deviated from

@@ -217,6 +217,13 @@ func (t *LabelTable) Intern(name string) Label {
 	return l
 }
 
+// Lookup returns the Label interned for name without interning it,
+// reporting whether the name is known.
+func (t *LabelTable) Lookup(name string) (Label, bool) {
+	l, ok := t.byName[name]
+	return l, ok
+}
+
 // Name returns the string for l, or a numeric fallback if unknown.
 func (t *LabelTable) Name(l Label) string {
 	if t == nil || int(l) < 0 || int(l) >= len(t.names) {

@@ -121,6 +121,12 @@ type MineRequest struct {
 	ClosedOnly  bool   `json:"closed_only,omitempty"`
 	MaxPatterns int    `json:"max_patterns,omitempty"`
 	Concurrency int    `json:"concurrency,omitempty"`
+	// Where is a declarative pattern constraint (skinnymine.Options.
+	// Where); invalid expressions are a 400. toOptions rewrites it to
+	// the parsed form's canonical rendering, so whitespace variants of
+	// one expression share a cache entry while any semantic difference
+	// — including only in the topk clause — keys separately.
+	Where string `json:"where,omitempty"`
 }
 
 // toOptions validates the request and lowers it onto the library
@@ -133,14 +139,8 @@ func (s *Server) toOptions(req *MineRequest) (skinnymine.Options, error) {
 	if req.Support != s.ix.Sigma() {
 		return zero, fmt.Errorf("support %d does not match the index σ=%d", req.Support, s.ix.Sigma())
 	}
-	if req.Length < 1 {
-		return zero, fmt.Errorf("length must be >= 1, got %d", req.Length)
-	}
 	if req.Length > s.maxLen {
 		return zero, fmt.Errorf("length %d exceeds this server's limit of %d", req.Length, s.maxLen)
-	}
-	if req.MinLength < 0 || (req.MinLength > 0 && req.MinLength > req.Length) {
-		return zero, fmt.Errorf("min_length %d out of range for length %d", req.MinLength, req.Length)
 	}
 	if req.Delta < 0 {
 		req.Delta = -1 // every negative value means unbounded; canonicalize
@@ -175,6 +175,25 @@ func (s *Server) toOptions(req *MineRequest) (skinnymine.Options, error) {
 	default:
 		return zero, fmt.Errorf("measure %q is not \"embeddings\" or \"graphs\"", req.Measure)
 	}
+	// Canonicalize the constraint: whitespace variants of one
+	// expression must share a cache entry, and an unparsable one is the
+	// client's fault (400). The parsed form rides along on the options
+	// so mining does not re-parse.
+	if strings.TrimSpace(req.Where) != "" {
+		c, err := skinnymine.ParseConstraint(req.Where)
+		if err != nil {
+			return zero, err
+		}
+		opt.WhereExpr = c
+		req.Where = c.String()
+	} else {
+		req.Where = ""
+	}
+	// Remaining field validation is the library's: the daemon rejects
+	// exactly what Mine and the CLI reject, with the same messages.
+	if err := opt.Validate(); err != nil {
+		return zero, err
+	}
 	return opt, nil
 }
 
@@ -183,15 +202,18 @@ func (s *Server) toOptions(req *MineRequest) (skinnymine.Options, error) {
 // max_patterns is set: output is byte-identical at every worker count,
 // except under a pattern budget where which patterns win the race may
 // depend on scheduling — there, differently-concurrent requests must
-// not share a cache entry.
+// not share a cache entry. Where arrives here already rewritten to its
+// canonical rendering (toOptions), so spelling variants of one
+// constraint hit one entry and semantically different constraints —
+// down to the topk clause — never collide.
 func cacheKey(req *MineRequest) string {
 	conc := 0
 	if req.MaxPatterns > 0 {
 		conc = req.Concurrency
 	}
-	return fmt.Sprintf("s=%d l=%d ml=%d d=%d m=%s max=%v cl=%v mp=%d c=%d",
+	return fmt.Sprintf("s=%d l=%d ml=%d d=%d m=%s max=%v cl=%v mp=%d c=%d w=%q",
 		req.Support, req.Length, req.MinLength, req.Delta, req.Measure,
-		req.MaximalOnly, req.ClosedOnly, req.MaxPatterns, conc)
+		req.MaximalOnly, req.ClosedOnly, req.MaxPatterns, conc, req.Where)
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {

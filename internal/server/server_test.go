@@ -410,3 +410,95 @@ func TestLRUEviction(t *testing.T) {
 		t.Errorf("len %d, want 2", c.len())
 	}
 }
+
+// TestMineWhereFilters pins that a where constraint reaches the miner:
+// the constrained result is the unconstrained one post-filtered, and
+// the daemon matches the library on the same options.
+func TestMineWhereFilters(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp := postMine(t, ts, `{"length":4,"delta":1,"where":"contains(label='shop')"}`)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	got := decodeBody[skinnymine.ResultJSON](t, resp.Body)
+
+	all, err := s.ix.Mine(skinnymine.Options{Support: 2, Length: 4, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.ix.Mine(skinnymine.Options{Support: 2, Length: 4, Delta: 1, Where: "contains(label='shop')"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Patterns) != len(want.Patterns) {
+		t.Fatalf("served %d patterns, library mined %d", len(got.Patterns), len(want.Patterns))
+	}
+	if len(got.Patterns) == 0 || len(got.Patterns) >= len(all.Patterns) {
+		t.Fatalf("where filtered %d -> %d patterns; expected a strict, non-empty subset",
+			len(all.Patterns), len(got.Patterns))
+	}
+}
+
+// TestCacheKeyWhere pins the cache-key canonicalization rules for the
+// where field: requests differing only in where (or only in the topk
+// clause) never collide, while spelling variants of one expression hit
+// one entry.
+func TestCacheKeyWhere(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	post := func(body, wantSource string) {
+		t.Helper()
+		resp := postMine(t, ts, body)
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d for %s: %s", resp.StatusCode, body, b)
+		}
+		io.Copy(io.Discard, resp.Body)
+		if src := resp.Header.Get("X-Result-Source"); src != wantSource {
+			t.Errorf("%s: source %q, want %q", body, src, wantSource)
+		}
+	}
+
+	post(`{"length":4,"delta":1}`, "miss")
+	// Adding a where must not collide with the unconstrained entry.
+	post(`{"length":4,"delta":1,"where":"vertices<=6"}`, "miss")
+	// Same expression, different spelling: canonicalized, so a hit.
+	post(`{"length":4,"delta":1,"where":"  vertices  <=  6 "}`, "hit")
+	post(`{"length":4,"delta":1,"where":"(vertices<=6)"}`, "hit")
+	// Different bound: a distinct entry.
+	post(`{"length":4,"delta":1,"where":"vertices<=7"}`, "miss")
+	// Only the topk clause differs: still distinct entries.
+	post(`{"length":4,"delta":1,"where":"vertices<=6 && topk(3)"}`, "miss")
+	post(`{"length":4,"delta":1,"where":"vertices<=6 && topk(2)"}`, "miss")
+	// topk(3) spelled with an explicit measure: same canonical form.
+	post(`{"length":4,"delta":1,"where":"topk(3,support) && vertices<=6"}`, "hit")
+	// And the unconstrained entry is still warm.
+	post(`{"length":4,"delta":1}`, "hit")
+
+	if n := s.cache.len(); n != 5 {
+		t.Errorf("cache holds %d entries, want 5", n)
+	}
+}
+
+// TestMineWhereInvalid pins that a bad constraint is the client's
+// fault: 400, with the parser's diagnostic passed through.
+func TestMineWhereInvalid(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct{ body, wantErr string }{
+		{`{"length":4,"where":"vertices<="}`, "non-negative integer"},
+		{`{"length":4,"where":"verts<=3"}`, "unknown predicate"},
+		{`{"length":4,"where":"topk(0)"}`, "topk count"},
+		{`{"length":4,"where":"vertices<=3 || topk(2)"}`, "top-level conjunct"},
+	}
+	for _, tc := range cases {
+		resp := postMine(t, ts, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.body, resp.StatusCode)
+			continue
+		}
+		e := decodeBody[errorJSON](t, resp.Body)
+		if !strings.Contains(e.Error, tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.body, e.Error, tc.wantErr)
+		}
+	}
+}

@@ -237,3 +237,60 @@ func TestWeiboSchema(t *testing.T) {
 		t.Error("label names")
 	}
 }
+
+func TestSkewShapeAndSelectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	opts := SkewOptions{N: 600, Labels: 8, Motifs: 5}
+	g := Skew(rng, opts)
+
+	wantV := 600 + 5*10 // background + 5 copies of the 10-vertex default motif
+	if g.N() != wantV {
+		t.Fatalf("N = %d, want %d", g.N(), wantV)
+	}
+
+	// Zipf skew: label 0 must dominate the background, and counts must
+	// broadly fall with the label index.
+	counts := make(map[graph.Label]int)
+	for v := 0; v < 600; v++ {
+		counts[g.Label(graph.V(v))]++
+	}
+	if counts[0] < counts[3] || counts[0] < 600/4 {
+		t.Errorf("label 0 count %d not dominant (label 3: %d)", counts[0], counts[3])
+	}
+	if counts[7] >= counts[0] {
+		t.Errorf("rarest background label as common as the most frequent: %d vs %d", counts[7], counts[0])
+	}
+
+	// Motifs live on the exclusive rare band [Labels, Labels+3): absent
+	// from the background, present Motifs times in the planted region.
+	for v := 0; v < 600; v++ {
+		if g.Label(graph.V(v)) >= 8 {
+			t.Fatalf("background vertex %d carries motif-band label %d", v, g.Label(graph.V(v)))
+		}
+	}
+	motifVerts := 0
+	for v := 600; v < g.N(); v++ {
+		if g.Label(graph.V(v)) >= 8 {
+			motifVerts++
+		}
+	}
+	if motifVerts != 5*10 {
+		t.Errorf("motif-band vertices = %d, want 50", motifVerts)
+	}
+
+	// Identical copies: the same motif graph is planted every time, so
+	// corresponding vertices of any two copies share labels.
+	for v := 0; v < 10; v++ {
+		a := g.Label(graph.V(600 + v))
+		b := g.Label(graph.V(600 + 10 + v))
+		if a != b {
+			t.Fatalf("motif copies differ at offset %d: %d vs %d", v, a, b)
+		}
+	}
+
+	// Determinism: same seed, same graph.
+	h := Skew(rand.New(rand.NewSource(42)), opts)
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Errorf("same seed produced different graph: %d/%d vs %d/%d vertices/edges", g.N(), g.M(), h.N(), h.M())
+	}
+}

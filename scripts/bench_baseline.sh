@@ -1,21 +1,27 @@
 #!/usr/bin/env bash
 # bench_baseline.sh — run the mine benchmarks with -benchmem and emit a
-# JSON summary (time/op, bytes/op, allocs/op per benchmark) so the bench
-# trajectory has machine-readable data points per PR.
+# JSON summary (time/op, bytes/op, allocs/op and any extensions/op
+# custom metric per benchmark) so the bench trajectory has
+# machine-readable data points per PR.
 #
 #   ./scripts/bench_baseline.sh [out.json]
+#
+# The output file argument defaults to the current PR's snapshot name;
+# CI passes it explicitly so the uploaded artifact and the committed
+# snapshot share one recipe.
 #
 # Environment:
 #   BENCHTIME   go test -benchtime value (default 1x: one full mine per
 #               variant; raise to 3x/1s locally for tighter numbers)
-#   BENCH_RE    benchmark regexp (default ^BenchmarkMineConcurrency)
+#   BENCH_RE    benchmark regexp (default: the concurrency-scaling mine
+#               benchmarks plus the constrained-mine pushdown pair)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr3.json}
+OUT=${1:-BENCH_pr4.json}
 BENCHTIME=${BENCHTIME:-1x}
-BENCH_RE=${BENCH_RE:-^BenchmarkMineConcurrency}
+BENCH_RE=${BENCH_RE:-'^BenchmarkMine(Concurrency|Constrained)'}
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
@@ -27,14 +33,15 @@ awk -v benchtime="$BENCHTIME" '
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
     iters = $2
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; ext = ""
     for (i = 3; i < NF; i++) {
       if ($(i+1) == "ns/op") ns = $i
       if ($(i+1) == "B/op") bytes = $i
       if ($(i+1) == "allocs/op") allocs = $i
+      if ($(i+1) == "extensions/op") ext = $i
     }
-    rows[++n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                        name, iters, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+    rows[++n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"extensions_per_op\": %s}",
+                        name, iters, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs, ext == "" ? "null" : ext)
   }
   END {
     printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime

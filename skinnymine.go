@@ -50,6 +50,25 @@
 // (internal/server). cmd/skinnymine -snapshot emits snapshots from the
 // command line.
 //
+// # Declarative constraints
+//
+// Beyond the paper's built-in constraints (σ, the diameter band, δ),
+// requests carry an optional Where expression — label predicates, size
+// and skinniness bounds, support comparisons, boolean combinators and
+// a topk result clause:
+//
+//	res, _ := skinnymine.Mine(g, skinnymine.Options{
+//		Support: 2, Length: 6, Delta: 2,
+//		Where: "contains(label='A') && !contains(label='C') && vertices<=8 && topk(10, by=size)",
+//	})
+//
+// Anti-monotone parts are pushed down into both mining stages as
+// pruning; the rest is checked once per emitted pattern. The result is
+// byte-identical to post-filtering the unconstrained result, except
+// under MaximalOnly and MaxPatterns (see Options.Where for the two
+// deliberate exceptions, internal/constraint for the language, and the
+// README's "Constraint language" section).
+//
 // # Concurrency and determinism
 //
 // Mining is parallel by default: Options.Concurrency bounds a worker
@@ -76,8 +95,10 @@ package skinnymine
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
+	"skinnymine/internal/constraint"
 	"skinnymine/internal/core"
 	"skinnymine/internal/graph"
 	"skinnymine/internal/support"
@@ -164,6 +185,45 @@ type Options struct {
 	// sequential path. See the package comment for the determinism
 	// guarantee.
 	Concurrency int
+	// Where is a declarative constraint over the mined patterns, e.g.
+	//
+	//	"contains(label='A') && vertices<=8 && !contains(label='C') && topk(10, by=support)"
+	//
+	// (grammar: internal/constraint and the README's "Constraint
+	// language" section). Anti-monotone parts — forbidden labels,
+	// vertex/edge/skinniness caps, support floors — are pushed down
+	// into both mining stages as pruning; the rest is checked once per
+	// emitted pattern, and a topk clause finally keeps the K
+	// best-ranked results. The result is byte-identical to mining
+	// unconstrained and post-filtering, with three exceptions that
+	// legitimately differ: MaximalOnly (pushdown steers the greedy
+	// absorption toward *constrained* maximal patterns), MaxPatterns
+	// (generated-but-filtered patterns consume budget slots, so
+	// pushdown — which stops generating them — fits more satisfying
+	// patterns under the same cap), and ClosedOnly (the filter runs
+	// first, so closedness is judged within the constrained set — a
+	// pattern is not shadowed by an equal-support super-pattern the
+	// constraint excludes). Empty means unconstrained.
+	Where string
+	// WhereExpr is a pre-parsed constraint (ParseConstraint); when set
+	// it takes precedence over Where. Pre-parsing lets a caller pay
+	// parsing once per expression and reuse it across requests.
+	WhereExpr *Constraint
+	// NoPushdown evaluates the Where constraint at output only,
+	// disabling the in-loop pruning. Results are identical either way
+	// (except under MaximalOnly or MaxPatterns — see Where); the knob
+	// exists to measure the pruning and to pin its equivalence in
+	// tests. (ClosedOnly diverges from *external* post-filtering under
+	// both modes equally: the output filter always precedes the closed
+	// filter.)
+	NoPushdown bool
+}
+
+func (o Options) measure() support.Measure {
+	if o.Measure == GraphCount {
+		return support.GraphCount
+	}
+	return support.EmbeddingCount
 }
 
 func (o Options) toCore() core.Options {
@@ -173,10 +233,88 @@ func (o Options) toCore() core.Options {
 	opt.ClosedOnly = o.ClosedOnly
 	opt.MaxPatterns = o.MaxPatterns
 	opt.Concurrency = o.Concurrency
-	if o.Measure == GraphCount {
-		opt.Measure = support.GraphCount
-	}
+	opt.Measure = o.measure()
 	return opt
+}
+
+// lower compiles the options onto the core engine: the basic field
+// lowering of toCore plus, when a Where constraint is present, binding
+// it to the label vocabulary and installing the pushdown and
+// output-filter hooks. The returned TopK (nil when absent) is applied
+// to the wrapped result by finishResult.
+func (o Options) lower(lt *graph.LabelTable) (core.Options, *constraint.TopK, error) {
+	copt := o.toCore()
+	c, err := o.parsedWhere()
+	if err != nil {
+		return copt, nil, err
+	}
+	if c == nil {
+		return copt, nil, nil
+	}
+	// Support atoms are anti-monotone (and so pushdown-eligible) only
+	// under the graph-transaction measure; see internal/constraint.
+	b := c.Bind(lt, o.Measure == GraphCount)
+	// One attribute view feeds both hooks: pushdown and output
+	// filtering must never judge a pattern against different facts.
+	attrs := func(g *graph.Graph, skinniness int32, sup int) constraint.Attrs {
+		return constraint.Attrs{
+			Vertices: g.N(), Edges: g.M(),
+			Skinniness: int(skinniness), Support: sup,
+			Labels: g.Labels(),
+		}
+	}
+	if !o.NoPushdown {
+		if b.HasPathPushdown() {
+			copt.PrunePath = b.RejectPath
+		}
+		if b.HasPushdown() {
+			copt.PrunePattern = func(g *graph.Graph, skinniness int32, sup int) bool {
+				return b.Reject(attrs(g, skinniness, sup))
+			}
+		}
+	}
+	if c.Expr != nil {
+		copt.OutputFilter = func(g *graph.Graph, skinniness int32, sup int) bool {
+			return b.Accept(attrs(g, skinniness, sup))
+		}
+	}
+	return copt, c.TopK, nil
+}
+
+// Constraint is a parsed Where expression. Parsing is cheap but not
+// free; callers issuing many requests with one expression can parse it
+// once and set Options.WhereExpr.
+type Constraint struct {
+	c *constraint.Constraint
+}
+
+// ParseConstraint parses a constraint expression (see Options.Where for
+// the language). Errors name the offending position and match ErrWhere
+// (and the underlying *constraint.ParseError) under errors.Is/As — the
+// exact error every surface reports, so the CLI, the library and the
+// serving daemon reject a bad expression with one message.
+func ParseConstraint(src string) (*Constraint, error) {
+	c, err := constraint.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("skinnymine: %w: %w", ErrWhere, err)
+	}
+	return &Constraint{c: c}, nil
+}
+
+// String returns the canonical rendering: fixed spacing, minimal
+// parentheses, topk clause last. Whitespace variants of one expression
+// share a canonical form — the serving daemon keys its result cache on
+// it.
+func (c *Constraint) String() string { return c.c.String() }
+
+// TopK reports the constraint's result clause: the pattern count, the
+// ranking measure ("support", "skinniness" or "size") and whether a
+// clause is present at all.
+func (c *Constraint) TopK() (k int, by string, ok bool) {
+	if c.c.TopK == nil {
+		return 0, "", false
+	}
+	return c.c.TopK.K, c.c.TopK.By.String(), true
 }
 
 // Pattern is one mined l-long δ-skinny pattern.
@@ -249,6 +387,12 @@ func MineDB(graphs []*Graph, opt Options) (*Result, error) {
 	if len(graphs) == 0 {
 		return nil, fmt.Errorf("skinnymine: no input graphs")
 	}
+	if err := opt.stashWhere(); err != nil {
+		return nil, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	lt := graphs[0].lt
 	raw := make([]*graph.Graph, len(graphs))
 	for i, g := range graphs {
@@ -257,11 +401,15 @@ func MineDB(graphs []*Graph, opt Options) (*Result, error) {
 		}
 		raw[i] = g.g
 	}
-	res, err := core.MineDB(raw, opt.toCore())
+	copt, tk, err := opt.lower(lt)
 	if err != nil {
 		return nil, err
 	}
-	return wrapResult(res, lt), nil
+	res, err := core.MineDB(raw, copt)
+	if err != nil {
+		return nil, err
+	}
+	return finishResult(res, lt, tk, opt), nil
 }
 
 func wrapResult(res *core.Result, lt *graph.LabelTable) *Result {
@@ -270,6 +418,53 @@ func wrapResult(res *core.Result, lt *graph.LabelTable) *Result {
 		out.Patterns = append(out.Patterns, &Pattern{p: p, lt: lt})
 	}
 	return out
+}
+
+// finishResult wraps the core result and applies the constraint's topk
+// clause, when present.
+func finishResult(res *core.Result, lt *graph.LabelTable, tk *constraint.TopK, opt Options) *Result {
+	out := wrapResult(res, lt)
+	if tk != nil {
+		out.Patterns = applyTopK(out.Patterns, tk, opt.measure())
+	}
+	return out
+}
+
+// applyTopK ranks patterns by the clause's measure and keeps the K
+// best. Support and size rank descending; skinniness ranks ascending
+// (the skinniest patterns are the constrained-discovery targets). Ties
+// fall back to the canonical output order (diameter length, canonical
+// DFS code), so the selection — and its order — stays byte-identical
+// across Concurrency settings.
+func applyTopK(ps []*Pattern, tk *constraint.TopK, m support.Measure) []*Pattern {
+	sort.SliceStable(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		switch tk.By {
+		case constraint.BySupport:
+			if sa, sb := a.p.Embs.Count(m), b.p.Embs.Count(m); sa != sb {
+				return sa > sb
+			}
+		case constraint.BySkinniness:
+			if ka, kb := a.p.MaxLevel(), b.p.MaxLevel(); ka != kb {
+				return ka < kb
+			}
+		case constraint.BySize:
+			if a.Vertices() != b.Vertices() {
+				return a.Vertices() > b.Vertices()
+			}
+			if a.Edges() != b.Edges() {
+				return a.Edges() > b.Edges()
+			}
+		}
+		if a.p.DiamLen != b.p.DiamLen {
+			return a.p.DiamLen < b.p.DiamLen
+		}
+		return a.p.CodeKey() < b.p.CodeKey()
+	})
+	if tk.K < len(ps) {
+		ps = ps[:tk.K]
+	}
+	return ps
 }
 
 // Corpus builds graphs that share one label vocabulary, as a graph
@@ -314,13 +509,26 @@ func BuildIndex(graphs []*Graph, sigma int) (*Index, error) {
 }
 
 // Mine serves one request from the index. Options.Support must equal
-// the σ the index was built with.
+// the σ the index was built with. A Where constraint prunes at seed
+// selection and inside Stage II growth; the index's shared Stage I
+// level cache stays complete (and correct for every other request), so
+// constrained and unconstrained requests coexist at one index.
 func (ix *Index) Mine(opt Options) (*Result, error) {
-	res, err := ix.ix.Mine(opt.toCore())
+	if err := opt.stashWhere(); err != nil {
+		return nil, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	copt, tk, err := opt.lower(ix.lt)
 	if err != nil {
 		return nil, err
 	}
-	return wrapResult(res, ix.lt), nil
+	res, err := ix.ix.Mine(copt)
+	if err != nil {
+		return nil, err
+	}
+	return finishResult(res, ix.lt, tk, opt), nil
 }
 
 // MinimalBackbones returns the label sequences of the frequent paths of

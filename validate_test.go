@@ -1,0 +1,108 @@
+package skinnymine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func validOptions() Options {
+	return Options{Support: 2, Length: 4, Delta: 2}
+}
+
+func TestValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+		want   error
+	}{
+		{"zero support", func(o *Options) { o.Support = 0 }, ErrSupport},
+		{"negative support", func(o *Options) { o.Support = -3 }, ErrSupport},
+		{"zero length", func(o *Options) { o.Length = 0 }, ErrLength},
+		{"minlength above length", func(o *Options) { o.MinLength = 9 }, ErrMinLength},
+		{"negative minlength", func(o *Options) { o.MinLength = -1 }, ErrMinLength},
+		{"bad measure", func(o *Options) { o.Measure = SupportMeasure(7) }, ErrMeasure},
+		{"negative max patterns", func(o *Options) { o.MaxPatterns = -1 }, ErrMaxPatterns},
+		{"unparsable where", func(o *Options) { o.Where = "vertices<=" }, ErrWhere},
+		{"unknown predicate", func(o *Options) { o.Where = "verts<=3" }, ErrWhere},
+	}
+	for _, tc := range cases {
+		opt := validOptions()
+		tc.mutate(&opt)
+		err := opt.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want %v", tc.name, tc.want)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: Validate() = %v, not errors.Is %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	cases := []func(*Options){
+		func(o *Options) {},
+		func(o *Options) { o.Delta = -1 },
+		func(o *Options) { o.MinLength = 2 },
+		func(o *Options) { o.Measure = GraphCount },
+		func(o *Options) { o.Where = "contains(label='A') && vertices<=8 && topk(3)" },
+		func(o *Options) { o.Where = "  " }, // blank means unconstrained
+	}
+	for i, mutate := range cases {
+		opt := validOptions()
+		mutate(&opt)
+		if err := opt.Validate(); err != nil {
+			t.Errorf("case %d: Validate() = %v, want nil", i, err)
+		}
+	}
+}
+
+// TestMineRejectsLikeValidate pins that the mining entry points reject
+// through Validate — same typed error, same message — so the library,
+// CLI and daemon agree on what a bad request looks like.
+func TestMineRejectsLikeValidate(t *testing.T) {
+	g := buildTrajectoryGraph(t)
+	opt := validOptions()
+	opt.Length = 0
+	wantMsg := opt.Validate().Error()
+
+	if _, err := Mine(g, opt); err == nil || !errors.Is(err, ErrLength) || err.Error() != wantMsg {
+		t.Errorf("Mine error = %v, want %q", err, wantMsg)
+	}
+	ix, err := BuildIndex([]*Graph{g}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Mine(opt); err == nil || !errors.Is(err, ErrLength) || err.Error() != wantMsg {
+		t.Errorf("Index.Mine error = %v, want %q", err, wantMsg)
+	}
+	if !strings.Contains(wantMsg, "length must be >= 1") {
+		t.Errorf("message %q lost the wire-format phrasing", wantMsg)
+	}
+}
+
+func TestParseConstraintPublicSurface(t *testing.T) {
+	c, err := ParseConstraint(" vertices <= 8 &&  topk( 5 , by = size ) ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.String(), "vertices<=8 && topk(5, by=size)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	k, by, ok := c.TopK()
+	if !ok || k != 5 || by != "size" {
+		t.Errorf("TopK() = (%d, %q, %v), want (5, size, true)", k, by, ok)
+	}
+	if _, err := ParseConstraint("vertices<="); err == nil {
+		t.Error("ParseConstraint accepted a truncated expression")
+	}
+
+	// WhereExpr takes precedence over Where.
+	opt := validOptions()
+	opt.WhereExpr = c
+	opt.Where = "this does not parse"
+	if err := opt.Validate(); err != nil {
+		t.Errorf("Validate with WhereExpr set = %v, want nil", err)
+	}
+}
