@@ -16,6 +16,7 @@ import (
 	"skinnymine/internal/core"
 	"skinnymine/internal/exp"
 	"skinnymine/internal/graph"
+	"skinnymine/internal/shard"
 	"skinnymine/internal/synth"
 	"skinnymine/internal/testutil"
 )
@@ -119,6 +120,58 @@ func benchMineConstrained(b *testing.B, noPushdown bool) {
 
 func BenchmarkMineConstrainedPushdown(b *testing.B)   { benchMineConstrained(b, false) }
 func BenchmarkMineConstrainedPostFilter(b *testing.B) { benchMineConstrained(b, true) }
+
+// Sharded-mining benchmark: a six-graph transaction database mined end
+// to end (Stage I + Stage II, engine construction included — sharding
+// is a per-database cost) unsharded and at P ∈ {2, 4}. Output is
+// byte-identical at every setting (the sharding refguards), so the
+// variants do the same logical work; compare ns/op for what the
+// shard-parallel Stage I and the cross-shard merge cost or save.
+// scripts/bench_baseline.sh records the curve per PR.
+var shardBenchDB []*graph.Graph
+
+func benchShardDB() []*graph.Graph {
+	if shardBenchDB == nil {
+		for i := int64(0); i < 6; i++ {
+			shardBenchDB = append(shardBenchDB, testutil.SynthWorkload(20+i, 120))
+		}
+	}
+	return shardBenchDB
+}
+
+func benchMineSharded(b *testing.B, shards int) {
+	db := benchShardDB()
+	opt := core.DefaultOptions(2, 4, 1)
+	opt.GreedyGrow = true
+	opt.Concurrency = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var (
+			res *core.Result
+			err error
+		)
+		if shards <= 1 {
+			res, err = core.MineDB(db, opt)
+		} else {
+			eng, engErr := shard.New(db, opt.Support, shards)
+			if engErr != nil {
+				b.Fatal(engErr)
+			}
+			res, err = eng.Mine(opt)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			b.Fatal("workload mined no patterns")
+		}
+	}
+}
+
+func BenchmarkMineSharded1(b *testing.B) { benchMineSharded(b, 1) }
+func BenchmarkMineSharded2(b *testing.B) { benchMineSharded(b, 2) }
+func BenchmarkMineSharded4(b *testing.B) { benchMineSharded(b, 4) }
 
 // BenchmarkTables12_DataSettings regenerates the Table 1/2 data sets
 // (generation cost only; the settings themselves are constants).

@@ -44,7 +44,8 @@ func main() {
 		top      = flag.Int("top", 20, "print at most this many patterns, largest first")
 		asJSON   = flag.Bool("json", false, "emit the full result as JSON")
 		conc     = flag.Int("concurrency", 0, "mining workers (0: one per CPU, 1: sequential)")
-		snapshot = flag.String("snapshot", "", "also write a DirectIndex snapshot (for skinnymined -index) to this file")
+		shards   = flag.Int("shards", 0, "partition the database across this many shards (0/1: unsharded; output is identical)")
+		snapshot = flag.String("snapshot", "", "also write an index snapshot (for skinnymined -index) to this file; with -shards, a sharded manifest + per-shard files")
 		where    = flag.String("where", "", "declarative pattern constraint, e.g. \"contains(label='7') && vertices<=8\"")
 		topk     = flag.Int("topk", 0, "keep only the k best-ranked patterns (0: all); composes with -where")
 		topkBy   = flag.String("topkby", "support", "ranking measure for -topk: support | skinniness | size")
@@ -107,6 +108,7 @@ func main() {
 		ClosedOnly:  *closed,
 		MaxPatterns: *limit,
 		Concurrency: *conc,
+		Shards:      *shards,
 		WhereExpr:   whereExpr,
 	}
 	if *perGraph {
@@ -153,14 +155,16 @@ func main() {
 	}
 }
 
-// mine runs the request, optionally through a DirectIndex whose state —
+// mine runs the request, optionally through an index whose state —
 // including the levels this request materialized — is then persisted to
-// snapshotPath for skinnymined to serve. Results are identical either way.
+// snapshotPath for skinnymined to serve. With Options.Shards > 1 the
+// index is sharded and the snapshot is a manifest plus per-shard files.
+// Results are identical every way.
 func mine(graphs []*skinnymine.Graph, opt skinnymine.Options, snapshotPath string) (*skinnymine.Result, error) {
 	if snapshotPath == "" {
 		return skinnymine.MineDB(graphs, opt)
 	}
-	ix, err := skinnymine.BuildIndex(graphs, opt.Support)
+	ix, err := skinnymine.BuildShardedIndex(graphs, opt.Support, opt.Shards)
 	if err != nil {
 		return nil, err
 	}

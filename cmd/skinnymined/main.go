@@ -1,20 +1,24 @@
 // Command skinnymined serves SkinnyMine requests over HTTP from one
-// pre-computed DirectIndex — the paper's direct mining deployment
-// (Figure 2): pay Stage I once, answer many (l, δ) requests online.
+// pre-computed index — the paper's direct mining deployment (Figure 2):
+// pay Stage I once, answer many (l, δ) requests online.
 //
 // Start from a snapshot (written by `skinnymine -snapshot` or a prior
-// `skinnymined -save`):
+// `skinnymined -save`; sharded manifests are detected automatically):
 //
 //	skinnymined -index city.idx -addr :8080
 //
-// or build the index from a graph file, optionally persisting it:
+// or build the index from a graph file — optionally sharded, optionally
+// persisting it:
 //
-//	skinnymined -input city.txt -support 2 -save city.idx
+//	skinnymined -input city.txt -support 2 -shards 4 -save city.idx
 //
 // Endpoints: POST /v1/mine (Options JSON in, ResultJSON out),
-// GET /v1/backbones?l=N, GET /healthz, GET /metrics. Example request:
+// POST /v1/batch (N requests, deduplicated, one scheduling pass),
+// GET /v1/backbones?l=N, GET /healthz, GET /metrics. Example requests:
 //
 //	curl -s localhost:8080/v1/mine -d '{"length":4,"delta":1}'
+//	curl -s localhost:8080/v1/batch \
+//	    -d '{"requests":[{"length":4,"delta":1},{"length":5,"delta":1}]}'
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests before exiting.
@@ -38,15 +42,17 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		index   = flag.String("index", "", "load a DirectIndex snapshot instead of building one")
-		input   = flag.String("input", "", "graph file (text format) to build the index from")
-		sigma   = flag.Int("support", 2, "frequency threshold σ when building from -input")
-		save    = flag.String("save", "", "write the index snapshot to this file after loading/building")
-		maxConc = flag.Int("max-concurrent", 0, "mining runs admitted at once (0: 2× CPUs)")
-		maxLen  = flag.Int("max-length", 0, "largest diameter length a request may ask for (0: 64)")
-		cache   = flag.Int("cache", 0, "result cache entries (0: 256, negative: disable)")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		addr     = flag.String("addr", ":8080", "listen address")
+		index    = flag.String("index", "", "load an index snapshot (plain or sharded manifest) instead of building one")
+		input    = flag.String("input", "", "graph file (text format) to build the index from")
+		sigma    = flag.Int("support", 2, "frequency threshold σ when building from -input")
+		shards   = flag.Int("shards", 0, "shard the index built from -input across this many partitions (0/1: unsharded)")
+		save     = flag.String("save", "", "write the index snapshot to this file after loading/building")
+		maxConc  = flag.Int("max-concurrent", 0, "mining runs admitted at once (0: 2× CPUs)")
+		maxLen   = flag.Int("max-length", 0, "largest diameter length a request may ask for (0: 64)")
+		maxBatch = flag.Int("max-batch", 0, "requests accepted per /v1/batch call (0: 64, negative: disable the endpoint)")
+		cache    = flag.Int("cache", 0, "result cache entries (0: 256, negative: disable)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	)
 	flag.Parse()
 	if (*index == "") == (*input == "") {
@@ -55,12 +61,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	ix, err := openIndex(*index, *input, *sigma)
+	ix, err := openIndex(*index, *input, *sigma, *shards)
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("index ready: %d graph(s), σ=%d, materialized levels %v",
-		ix.NumGraphs(), ix.Sigma(), ix.MaterializedLevels())
+	log.Printf("index ready: %d graph(s), σ=%d, %d shard(s), materialized levels %v",
+		ix.NumGraphs(), ix.Sigma(), ix.Shards(), ix.MaterializedLevels())
 
 	if *save != "" {
 		if err := ix.WriteSnapshotFile(*save); err != nil {
@@ -69,7 +75,7 @@ func main() {
 		log.Printf("snapshot saved to %s", *save)
 	}
 
-	srv, err := server.New(server.Config{Index: ix, MaxConcurrent: *maxConc, MaxLength: *maxLen, CacheSize: *cache})
+	srv, err := server.New(server.Config{Index: ix, MaxConcurrent: *maxConc, MaxLength: *maxLen, MaxBatch: *maxBatch, CacheSize: *cache})
 	if err != nil {
 		fatal(err)
 	}
@@ -100,15 +106,11 @@ func main() {
 	log.Printf("bye")
 }
 
-// openIndex loads a snapshot or builds the index from a graph file.
-func openIndex(snapshot, input string, sigma int) (*skinnymine.Index, error) {
+// openIndex loads a snapshot (plain or sharded, sniffed by magic) or
+// builds the index — sharded when asked — from a graph file.
+func openIndex(snapshot, input string, sigma, shards int) (*skinnymine.Index, error) {
 	if snapshot != "" {
-		f, err := os.Open(snapshot)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		ix, err := skinnymine.LoadIndex(f)
+		ix, err := skinnymine.LoadIndexFile(snapshot)
 		if err != nil {
 			return nil, err
 		}
@@ -127,7 +129,7 @@ func openIndex(snapshot, input string, sigma int) (*skinnymine.Index, error) {
 	if len(graphs) == 0 {
 		return nil, fmt.Errorf("no graphs in %s", input)
 	}
-	return skinnymine.BuildIndex(graphs, sigma)
+	return skinnymine.BuildShardedIndex(graphs, sigma, shards)
 }
 
 func fatal(err error) {

@@ -354,15 +354,32 @@ func (m *DiamMiner) ensurePowers(upto, workers int) error {
 
 // frequentEdges mines all frequent paths of length 1.
 func (m *DiamMiner) frequentEdges() []*PathPattern {
+	return m.edgeCandidates(nil)
+}
+
+// edgeCandidates buckets the length-1 paths of the given graphs (nil
+// means every graph) and applies the miner's threshold. The gid subset
+// form is the Stage I entry point of sharded mining (ShardStage1),
+// where each shard enumerates only its own graphs.
+func (m *DiamMiner) edgeCandidates(gids []int32) []*PathPattern {
 	buckets := make(bucketMap)
 	sc := m.newJoinScratch()
-	for gi, g := range m.graphs {
-		gid := int32(gi)
+	emit := func(gid int32) {
+		g := m.graphs[gid]
 		for _, e := range g.Edges() {
 			for _, or := range [2][2]graph.V{{e.U, e.W}, {e.W, e.U}} {
 				sc.comb = append(sc.comb[:0], or[0], or[1])
 				m.bucketAdd(buckets, sc, PathEmb{GID: gid, Seq: sc.comb})
 			}
+		}
+	}
+	if gids == nil {
+		for gi := range m.graphs {
+			emit(int32(gi))
+		}
+	} else {
+		for _, gid := range gids {
+			emit(gid)
 		}
 	}
 	return m.collect(buckets)
@@ -625,23 +642,7 @@ func (m *DiamMiner) collect(buckets bucketMap) []*PathPattern {
 	return out
 }
 
-func comparePaths(a, b graph.Path) int {
-	for i := range a {
-		if i >= len(b) {
-			return 1
-		}
-		switch {
-		case a[i] < b[i]:
-			return -1
-		case a[i] > b[i]:
-			return 1
-		}
-	}
-	if len(a) < len(b) {
-		return -1
-	}
-	return 0
-}
+func comparePaths(a, b graph.Path) int { return slices.Compare(a, b) }
 
 // disjointAfterJoint reports whether seq's vertices beyond its first are
 // all absent from the stamped set inA.

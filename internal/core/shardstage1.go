@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"skinnymine/internal/graph"
+)
+
+// ShardStage1 is the per-shard side of sharded Stage I mining
+// (internal/shard): it runs the DiamMine path joins over ONE shard of a
+// partitioned graph database and reports every candidate it assembles,
+// leaving the frequency threshold to the cross-shard merge.
+//
+// The construction that makes sharding exact: Stage I joins only ever
+// combine embeddings living in the same data graph, and each graph
+// belongs to exactly one shard, so the union of per-shard candidate
+// buckets for a level is precisely the unsharded candidate set,
+// partitioned by graph ID — no candidate is lost and none is invented.
+// A shard therefore holds the FULL graph slice (embeddings carry global
+// graph IDs throughout; nothing is ever remapped during mining) but
+// enumerates level-1 edges only from its own graphs, and each later
+// level joins only the shard-local projections of the globally merged,
+// globally thresholded previous level that internal/shard feeds back.
+//
+// Candidate generation is internally threshold-1 (every non-empty
+// bucket survives collect), so per-pattern Support values returned here
+// are shard-local subgraph counts; global supports are recomputed at
+// the merge. A ShardStage1 never installs a Stage I pushdown hook:
+// shard levels feed a shared engine serving many requests, so they must
+// stay complete (constraints prune at seed selection instead, exactly
+// like a shared DirectIndex).
+//
+// Ownership: a ShardStage1 is stateless between calls (no level cache —
+// internal/shard owns all caching) and safe for one caller at a time;
+// the engine runs the P shards on P goroutines, one call per shard per
+// level.
+type ShardStage1 struct {
+	dm   *DiamMiner
+	gids []int32
+}
+
+// NewShardStage1 returns the Stage I join runner for the shard owning
+// the given graph IDs. graphs is the FULL database slice shared by all
+// shards; gids selects this shard's members.
+func NewShardStage1(graphs []*graph.Graph, gids []int32) (*ShardStage1, error) {
+	dm, err := NewDiamMiner(graphs, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, gid := range gids {
+		if int(gid) < 0 || int(gid) >= len(graphs) {
+			return nil, fmt.Errorf("core: shard graph ID %d out of range [0, %d)", gid, len(graphs))
+		}
+	}
+	return &ShardStage1{dm: dm, gids: append([]int32(nil), gids...)}, nil
+}
+
+// EdgeCandidates buckets every length-1 path of the shard's graphs:
+// the level-1 candidates, sorted by canonical label sequence with
+// embeddings sorted by (graph ID, vertex sequence) — the same canonical
+// order collect gives the unsharded level.
+func (s *ShardStage1) EdgeCandidates() []*PathPattern {
+	return s.dm.edgeCandidates(s.gids)
+}
+
+// ConcatCandidates doubles the shard-local projections of the globally
+// frequent length-L paths into the shard's length-2L candidates
+// (Algorithm 2 lines 2–7), fanned across the given worker count.
+func (s *ShardStage1) ConcatCandidates(prev []*PathPattern, workers int) []*PathPattern {
+	if workers < 1 {
+		workers = 1
+	}
+	return s.dm.concat(prev, workers)
+}
+
+// CountPathSubgraphs counts the distinct path subgraphs among oriented
+// embeddings: Stage I stores both traversal orders of every subgraph,
+// so counting the embeddings whose vertex sequence reads canonically in
+// its stored direction counts each subgraph exactly once. This is the
+// support a merged shard level recomputes (internal/shard) — exported
+// from core so the "<= its own reversal" convention lives in exactly
+// one place (PathEmb.canonicalForward, shared with the subgraph-hash
+// dedup of the joins).
+func CountPathSubgraphs(embs []PathEmb) int {
+	n := 0
+	for _, e := range embs {
+		if e.canonicalForward() {
+			n++
+		}
+	}
+	return n
+}
+
+// MergeCandidates overlaps two length-m paths from the shard-local
+// projections of the globally frequent level m into length-l candidates
+// (Algorithm 2 lines 9–17). Requires m < l < 2m, the range the doubling
+// schedule produces.
+func (s *ShardStage1) MergeCandidates(pool []*PathPattern, l, m, workers int) []*PathPattern {
+	if workers < 1 {
+		workers = 1
+	}
+	return s.dm.merge(pool, l, m, workers)
+}

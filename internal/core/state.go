@@ -56,29 +56,66 @@ func RestoreIndex(st IndexState) (*DirectIndex, error) {
 		return nil, err
 	}
 	for l, ps := range st.Levels {
-		if l < 1 {
-			return nil, fmt.Errorf("core: restored level %d out of range", l)
-		}
-		for _, p := range ps {
-			if len(p.Seq) != l+1 {
-				return nil, fmt.Errorf("core: level %d pattern has %d labels, want %d", l, len(p.Seq), l+1)
-			}
-			for _, e := range p.Embs {
-				if int(e.GID) < 0 || int(e.GID) >= len(st.Graphs) {
-					return nil, fmt.Errorf("core: level %d embedding references graph %d of %d", l, e.GID, len(st.Graphs))
-				}
-				g := st.Graphs[e.GID]
-				if len(e.Seq) != l+1 {
-					return nil, fmt.Errorf("core: level %d embedding has %d vertices, want %d", l, len(e.Seq), l+1)
-				}
-				for _, v := range e.Seq {
-					if int(v) < 0 || int(v) >= g.N() {
-						return nil, fmt.Errorf("core: level %d embedding vertex %d out of range for graph %d", l, v, e.GID)
-					}
-				}
-			}
+		if err := validateLevel(st.Graphs, l, ps); err != nil {
+			return nil, err
 		}
 		dm.storeLevel(l, ps)
 	}
 	return &DirectIndex{dm: dm}, nil
+}
+
+// validateLevel checks one frequent-path level against the graph
+// database: every pattern sequence has l+1 labels and every embedding
+// references an in-range graph with in-range vertices. Shared by
+// RestoreIndex and PreloadLevel, so externally supplied levels pass one
+// discipline regardless of how they reach the index.
+func validateLevel(graphs []*graph.Graph, l int, ps []*PathPattern) error {
+	if l < 1 {
+		return fmt.Errorf("core: restored level %d out of range", l)
+	}
+	for _, p := range ps {
+		if len(p.Seq) != l+1 {
+			return fmt.Errorf("core: level %d pattern has %d labels, want %d", l, len(p.Seq), l+1)
+		}
+		for _, e := range p.Embs {
+			if int(e.GID) < 0 || int(e.GID) >= len(graphs) {
+				return fmt.Errorf("core: level %d embedding references graph %d of %d", l, e.GID, len(graphs))
+			}
+			g := graphs[e.GID]
+			if len(e.Seq) != l+1 {
+				return fmt.Errorf("core: level %d embedding has %d vertices, want %d", l, len(e.Seq), l+1)
+			}
+			for _, v := range e.Seq {
+				if int(v) < 0 || int(v) >= g.N() {
+					return fmt.Errorf("core: level %d embedding vertex %d out of range for graph %d", l, v, e.GID)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PreloadLevel installs an externally materialized frequent-path level
+// — one computed by a sharded Stage I (internal/shard) — into the
+// index's level cache, after the same validation a restored snapshot
+// level passes. A level already present is left untouched: the cache
+// is append-only and every producer of a given level must produce the
+// same bytes (the determinism invariant), so the first copy wins.
+// Safe for concurrent callers and concurrent Mine requests.
+func (ix *DirectIndex) PreloadLevel(l int, ps []*PathPattern) error {
+	ix.dm.mu.RLock()
+	_, ok := ix.dm.levels[l]
+	ix.dm.mu.RUnlock()
+	if ok {
+		return nil
+	}
+	if err := validateLevel(ix.dm.graphs, l, ps); err != nil {
+		return err
+	}
+	ix.dm.mu.Lock()
+	defer ix.dm.mu.Unlock()
+	if _, ok := ix.dm.levels[l]; !ok {
+		ix.dm.storeLevel(l, ps)
+	}
+	return nil
 }

@@ -1,9 +1,3 @@
-// Package dfscode implements gSpan-style DFS codes for vertex-labeled
-// undirected graphs: code construction, the DFS-lexicographic order, and
-// minimal (canonical) code computation. Minimal codes serve as canonical
-// keys: two graphs are isomorphic exactly when their minimal codes are
-// equal. SkinnyMine uses them to deduplicate generated patterns; the
-// gSpan and MoSS baselines use them as their search-space canonical form.
 package dfscode
 
 import (

@@ -1,0 +1,25 @@
+// Package dfscode implements gSpan-style DFS codes for vertex-labeled
+// undirected graphs: code construction, the DFS-lexicographic order,
+// and minimal (canonical) code computation.
+//
+// # Paper correspondence
+//
+// The paper's Stage II (Algorithm 3) deduplicates generated patterns by
+// graph isomorphism; minimal DFS codes are the canonical keys making
+// that a string comparison — two graphs are isomorphic exactly when
+// their minimal codes are equal (Yan & Han, ICDM 2002, the paper's
+// gSpan baseline). SkinnyMine keys its shared dedup set and its
+// canonical output order on MinCodeKey; the cross-shard result merge
+// of internal/shard relies on the same property. The gSpan and MoSS
+// baselines additionally use DFS codes as their search-space canonical
+// form.
+//
+// # Concurrency and ownership
+//
+// MinCode/MinCodeKey are pure functions over their input graph: all
+// traversal state (vertex inverse maps, used-edge bitsets, the shared
+// code context) is function-local, so concurrent calls from the Stage
+// II worker pool need no synchronization. The invariance of the
+// minimal code under vertex permutation is pinned by
+// FuzzMinCodePermutation.
+package dfscode

@@ -1,12 +1,3 @@
-// Package exp is the experiment harness: one entry point per table and
-// figure of the paper's evaluation (Section 6), each returning typed
-// rows/series that cmd/experiments renders in the paper's layout and
-// bench_test.go wraps as benchmarks.
-//
-// Config.Scale shrinks graph sizes so the whole suite runs in seconds;
-// Scale=1 reproduces the paper's parameters. Shapes (who wins, where
-// curves bend) are preserved across scales; absolute numbers are not
-// expected to match the authors' 2013 C++/testbed figures.
 package exp
 
 import (

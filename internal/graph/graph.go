@@ -1,11 +1,3 @@
-// Package graph provides the labeled-graph substrate for SkinnyMine:
-// vertex-labeled undirected graphs, label interning, breadth-first
-// distances, diameters and canonical diameters (Definitions 2-4 of the
-// paper), and subgraph isomorphism.
-//
-// Graphs are undirected and simple (no self-loops, no parallel edges).
-// Vertices are dense int32 IDs starting at 0; adjacency lists are kept
-// sorted so neighbor iteration is deterministic.
 package graph
 
 import (

@@ -43,7 +43,10 @@ import (
 )
 
 const (
-	magic   = "SKMINEIX"
+	// Magic opens every v1 single-index snapshot stream; readers sniff
+	// it (against ManifestMagic) to tell the two snapshot kinds apart.
+	Magic   = "SKMINEIX"
+	magic   = Magic
 	version = 1
 )
 

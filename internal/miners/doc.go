@@ -1,0 +1,25 @@
+// Package miners groups the baseline frequent-subgraph miners from the
+// paper's evaluation (Section 6), one subpackage per system:
+//
+//   - gspan: complete enumerate-and-check mining over minimal DFS codes
+//     (Yan & Han, ICDM 2002) — the representative exact baseline.
+//   - moss: complete single-graph mining via the gSpan search with
+//     embedding-count support (Fiedler & Borgelt, MLG 2007) — the
+//     post-filtering ground truth integration tests compare against.
+//   - spidermine: probabilistic top-K largest-pattern mining (Zhu, Qu,
+//     Lo, Yan, Han & Yu, PVLDB 2011) — the closest competitor, whose
+//     diameter cap is exactly why it misses long skinny patterns.
+//   - subdue: MDL-guided beam search (Holder, Cook & Djoko, KDD 1994).
+//   - seus: summary-graph candidate generation (Ghazizadeh &
+//     Chawathe, DS 2002).
+//   - origami: output-space sampling of maximal patterns in the
+//     transaction setting (Hasan et al., ICDM 2007).
+//
+// Each reimplementation keeps the mechanism the paper's comparison
+// hinges on (search order, support definition, termination) and drops
+// engineering detail irrelevant to the figures. The baselines are
+// sequential and unshared by design: internal/exp constructs one miner
+// per run, so none of them synchronize. This package itself holds no
+// code — it exists to document the family and give the subpackages one
+// import root.
+package miners

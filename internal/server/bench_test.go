@@ -1,0 +1,73 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// Batch-vs-sequential serving benchmark: the same eight distinct mining
+// requests issued as eight sequential /v1/mine round trips versus one
+// /v1/batch call. A fresh server per iteration keeps the result cache
+// cold, so both variants do the same mining work; the difference is
+// round trips, JSON decoding, and scheduling (the batch's unique misses
+// enter the admission gate together). scripts/bench_baseline.sh records
+// both in the per-PR bench JSON.
+
+func benchRequests() []string {
+	reqs := make([]string, 8)
+	for i := range reqs {
+		reqs[i] = fmt.Sprintf(`{"length":%d,"delta":1}`, 2+i)
+	}
+	return reqs
+}
+
+func BenchmarkServerSequentialRequests(b *testing.B) {
+	ix := buildIndex(b)
+	reqs := benchRequests()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		_, ts := newTestServer(b, Config{Index: ix})
+		b.StartTimer()
+		for _, req := range reqs {
+			resp, err := http.Post(ts.URL+"/v1/mine", "application/json", strings.NewReader(req))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+		b.StopTimer()
+		ts.Close() // idempotent under the later t.Cleanup
+		b.StartTimer()
+	}
+}
+
+func BenchmarkServerBatchRequests(b *testing.B) {
+	ix := buildIndex(b)
+	body := `{"requests":[` + strings.Join(benchRequests(), ",") + `]}`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		_, ts := newTestServer(b, Config{Index: ix})
+		b.StartTimer()
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		b.StopTimer()
+		ts.Close() // idempotent under the later t.Cleanup
+		b.StartTimer()
+	}
+}

@@ -16,9 +16,19 @@ type metrics struct {
 
 	requests struct {
 		mine      atomic.Int64
+		batch     atomic.Int64
 		backbones atomic.Int64
 		healthz   atomic.Int64
 		metrics   atomic.Int64
+	}
+
+	// batch tracks /v1/batch composition; the work its entries cause is
+	// accounted in the mine section (runs, cache hits, latencies), so
+	// batched and single mining share one ledger.
+	batch struct {
+		items   atomic.Int64 // entries received across all batches
+		unique  atomic.Int64 // distinct canonical requests after dedup
+		deduped atomic.Int64 // valid entries answered by an earlier twin
 	}
 
 	mine struct {
@@ -54,6 +64,15 @@ type MetricsSnapshot struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Requests      map[string]int64 `json:"requests_total"`
 	Mine          MineMetrics      `json:"mine"`
+	Batch         BatchMetrics     `json:"batch"`
+}
+
+// BatchMetrics is the /v1/batch section of the metrics document. The
+// mining work batches trigger is accounted under the mine section.
+type BatchMetrics struct {
+	Items   int64 `json:"items"`
+	Unique  int64 `json:"unique"`
+	Deduped int64 `json:"deduped"`
 }
 
 // MineMetrics is the /v1/mine section of the metrics document.
@@ -85,9 +104,15 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests: map[string]int64{
 			"mine":      m.requests.mine.Load(),
+			"batch":     m.requests.batch.Load(),
 			"backbones": m.requests.backbones.Load(),
 			"healthz":   m.requests.healthz.Load(),
 			"metrics":   m.requests.metrics.Load(),
+		},
+		Batch: BatchMetrics{
+			Items:   m.batch.items.Load(),
+			Unique:  m.batch.unique.Load(),
+			Deduped: m.batch.deduped.Load(),
 		},
 		Mine: MineMetrics{
 			CacheHits:    hits,

@@ -1,17 +1,26 @@
 // Package server is the HTTP serving layer of the direct mining
-// deployment (Figure 2 of the paper): one pre-computed DirectIndex,
-// shared by every request, behind a small JSON API.
+// deployment (Figure 2 of the paper): one pre-computed index — sharded
+// or not — shared by every request, behind a small JSON API.
 //
 //	POST /v1/mine       Options JSON in, ResultJSON out
+//	POST /v1/batch      N MineRequests in, per-request results out
 //	GET  /v1/backbones  ?l=N — Stage I minimal patterns for length N
-//	GET  /healthz       liveness + index summary
+//	GET  /healthz       liveness + index summary (graphs, σ, shards)
 //	GET  /metrics       request counters, latencies, cache hit rate
 //
 // Mining requests pass through three throughput guards: an LRU cache of
 // serialized responses keyed by canonicalized options, singleflight
 // coalescing so identical concurrent requests share one mining run, and
 // a bounded-concurrency admission gate protecting the process from
-// unbounded parallel Stage II growth.
+// unbounded parallel Stage II growth. A batch rides the same guards as
+// N single requests would — same cache, same coalescing domain, same
+// gate — after deduplicating its entries by canonical cache key, so N
+// identical batched requests cost exactly one mining run.
+//
+// Concurrency and ownership: one Server owns its cache, flight group,
+// metrics and admission semaphore; every handler is safe for arbitrary
+// concurrent requests, and the shared index's own locking makes
+// concurrent cache-miss materialization race-free.
 package server
 
 import (
@@ -50,17 +59,21 @@ type Config struct {
 	// mining cost grows steeply with l, so an unbounded wire value
 	// would let one request exhaust the process. 0 means 64.
 	MaxLength int
+	// MaxBatch caps how many requests one /v1/batch call may carry.
+	// 0 means 64; negative disables the endpoint (404).
+	MaxBatch int
 }
 
 // Server serves mining requests over HTTP. Create one with New and
 // mount Handler on an http.Server.
 type Server struct {
-	ix      *skinnymine.Index
-	maxLen  int
-	sem     chan struct{}
-	cache   *lruCache // nil when caching is disabled
-	flights *flightGroup
-	metrics *metrics
+	ix       *skinnymine.Index
+	maxLen   int
+	maxBatch int // 0 disables /v1/batch
+	sem      chan struct{}
+	cache    *lruCache // nil when caching is disabled
+	flights  *flightGroup
+	metrics  *metrics
 
 	// mineFn runs one mining request; tests substitute it to observe
 	// coalescing and gate behavior deterministically.
@@ -78,16 +91,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxLength <= 0 {
 		cfg.MaxLength = 64
 	}
+	switch {
+	case cfg.MaxBatch == 0:
+		cfg.MaxBatch = 64
+	case cfg.MaxBatch < 0:
+		cfg.MaxBatch = 0 // endpoint disabled
+	}
 	// Backbones materialization runs at the index's own concurrency
 	// (Mine requests carry their own); default it to the machine.
 	cfg.Index.SetConcurrency(0)
 	s := &Server{
-		ix:      cfg.Index,
-		maxLen:  cfg.MaxLength,
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		flights: newFlightGroup(),
-		metrics: newMetrics(),
-		mineFn:  cfg.Index.Mine,
+		ix:       cfg.Index,
+		maxLen:   cfg.MaxLength,
+		maxBatch: cfg.MaxBatch,
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		flights:  newFlightGroup(),
+		metrics:  newMetrics(),
+		mineFn:   cfg.Index.Mine,
 	}
 	switch {
 	case cfg.CacheSize == 0:
@@ -102,6 +122,9 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/mine", s.handleMine)
+	if s.maxBatch > 0 {
+		mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	}
 	mux.HandleFunc("GET /v1/backbones", s.handleBackbones)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -230,7 +253,14 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.serveCached(w, r, cacheKey(&req), true, func() ([]byte, error) {
+	s.serveCached(w, r, cacheKey(&req), true, s.mineProduce(opt))
+}
+
+// mineProduce returns the producer for one mining request: run the
+// request, record latency, serialize the wire body. Shared by /v1/mine
+// and /v1/batch so both feed the same /metrics mine section.
+func (s *Server) mineProduce(opt skinnymine.Options) func() ([]byte, error) {
+	return func() ([]byte, error) {
 		s.metrics.mine.inFlight.Add(1)
 		defer s.metrics.mine.inFlight.Add(-1)
 		s.metrics.mine.runs.Add(1)
@@ -245,24 +275,48 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		return buf.Bytes(), nil
-	})
+	}
 }
 
-// serveCached runs the three throughput guards around produce: the LRU
+// serveCached runs the throughput guards around produce (execute) and
+// writes the outcome as an HTTP response.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, trackMine bool, produce func() ([]byte, error)) {
+	body, source, err := s.execute(r, key, trackMine, produce)
+	if err != nil {
+		// Input was validated before produce, so a failed run is the
+		// server's problem: 503 for admission cancellation, 500 otherwise.
+		writeError(w, errStatus(err), err.Error())
+		return
+	}
+	writeBody(w, body, source)
+}
+
+// errStatus maps a failed run to its HTTP status.
+func errStatus(err error) int {
+	if errors.Is(err, errAdmissionCanceled) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// execute runs the three throughput guards around produce: the LRU
 // response cache under key, singleflight coalescing of identical
 // concurrent requests, and the bounded-concurrency admission gate.
 // produce runs with an admission slot held and returns the response
-// body, which is cached on success. trackMine folds cache and error
-// counts into the /metrics mine section (the mining endpoint's
-// bookkeeping; other endpoints only ride the guards).
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, trackMine bool, produce func() ([]byte, error)) {
+// body, which is cached on success and tagged with where it came from
+// ("hit", "miss" or "coalesced"). trackMine folds cache and error
+// counts into the /metrics mine section (the mining endpoints'
+// bookkeeping; other endpoints only ride the guards). Both /v1/mine
+// and every unique /v1/batch entry funnel through here, so batch and
+// single requests share one cache, one coalescing domain, and one
+// admission gate.
+func (s *Server) execute(r *http.Request, key string, trackMine bool, produce func() ([]byte, error)) (body []byte, source string, err error) {
 	if s.cache != nil {
 		if body, ok := s.cache.get(key); ok {
 			if trackMine {
 				s.metrics.mine.cacheHits.Add(1)
 			}
-			writeBody(w, body, "hit")
-			return
+			return body, "hit", nil
 		}
 		if trackMine {
 			s.metrics.mine.cacheMisses.Add(1)
@@ -285,11 +339,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		}
 		return body, nil
 	}
-	var (
-		body   []byte
-		err    error
-		shared bool
-	)
+	var shared bool
 	for {
 		body, err, shared = s.flights.do(key, run)
 		// A shared admission-cancel error is the leader's client
@@ -306,20 +356,13 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		if trackMine {
 			s.metrics.mine.errors.Add(1)
 		}
-		// Input was validated before produce, so a failed run is the
-		// server's problem: 503 for admission cancellation, 500 otherwise.
-		status := http.StatusInternalServerError
-		if errors.Is(err, errAdmissionCanceled) {
-			status = http.StatusServiceUnavailable
-		}
-		writeError(w, status, err.Error())
-		return
+		return nil, "", err
 	}
-	source := "miss"
+	source = "miss"
 	if shared {
 		source = "coalesced"
 	}
-	writeBody(w, body, source)
+	return body, source, nil
 }
 
 // writeBody emits a pre-serialized ResultJSON, tagging where it came
@@ -373,6 +416,7 @@ type HealthResponse struct {
 	Status             string `json:"status"`
 	Graphs             int    `json:"graphs"`
 	Sigma              int    `json:"sigma"`
+	Shards             int    `json:"shards"`
 	MaterializedLevels []int  `json:"materialized_levels"`
 }
 
@@ -386,6 +430,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:             "ok",
 		Graphs:             s.ix.NumGraphs(),
 		Sigma:              s.ix.Sigma(),
+		Shards:             s.ix.Shards(),
 		MaterializedLevels: levels,
 	})
 }

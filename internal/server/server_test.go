@@ -17,7 +17,7 @@ import (
 
 // buildIndex wires the trajectory workload used across the repo's
 // public-API tests: two copies of a 5-stop route plus noise.
-func buildIndex(t *testing.T) *skinnymine.Index {
+func buildIndex(t testing.TB) *skinnymine.Index {
 	t.Helper()
 	g := skinnymine.NewGraph()
 	route := []string{"station", "cafe", "park", "museum", "plaza"}
@@ -44,7 +44,7 @@ func buildIndex(t *testing.T) *skinnymine.Index {
 	return ix
 }
 
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	if cfg.Index == nil {
 		cfg.Index = buildIndex(t)

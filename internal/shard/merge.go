@@ -1,0 +1,93 @@
+package shard
+
+import (
+	"slices"
+	"sort"
+
+	"skinnymine/internal/core"
+	"skinnymine/internal/graph"
+)
+
+// mergeLevel folds per-shard candidate lists for one path level into
+// the global frequent-path level, with exact support aggregation:
+//
+//   - Candidates group across shards by canonical label sequence.
+//   - A pattern's embeddings are the concatenation of its per-shard
+//     embeddings, re-sorted into the unsharded canonical order
+//     (graph ID, then vertex sequence). The lists are disjoint by
+//     construction — every embedding lives in exactly one graph, every
+//     graph in exactly one shard — so nothing needs dedup.
+//   - Support is recomputed from the merged embeddings (distinct path
+//     subgraphs: each subgraph contributes its two traversal
+//     orientations, exactly one of which is vertex-lexicographically
+//     canonical), never summed from per-shard counters, so a stored
+//     per-shard Support can never skew the global one.
+//   - The global frequency threshold σ is applied here — per-shard
+//     candidate generation is threshold-1 — and survivors sort by
+//     canonical label sequence.
+//
+// The result is byte-identical to the level an unsharded DiamMiner
+// materializes (pinned by the refguard tests). The second return value
+// is the per-shard projection of the surviving patterns — each shard's
+// input for the next doubling level: only globally frequent paths, only
+// locally resident embeddings.
+func mergeLevel(parts [][]*core.PathPattern, sigma int) (global []*core.PathPattern, local [][]*core.PathPattern) {
+	type agg struct {
+		seq  []graph.Label
+		embs []core.PathEmb
+	}
+	seen := make(map[string]*agg)
+	var order []*agg
+	for _, part := range parts {
+		for _, p := range part {
+			k := labelKey(p.Seq)
+			a, ok := seen[k]
+			if !ok {
+				a = &agg{seq: p.Seq}
+				seen[k] = a
+				order = append(order, a)
+			}
+			a.embs = append(a.embs, p.Embs...)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return graph.CompareLabelSeqs(order[i].seq, order[j].seq) < 0
+	})
+
+	frequent := make(map[string]bool, len(order))
+	for _, a := range order {
+		sort.Slice(a.embs, func(i, j int) bool {
+			if a.embs[i].GID != a.embs[j].GID {
+				return a.embs[i].GID < a.embs[j].GID
+			}
+			return slices.Compare(a.embs[i].Seq, a.embs[j].Seq) < 0
+		})
+		sup := core.CountPathSubgraphs(a.embs)
+		if sup < sigma {
+			continue
+		}
+		frequent[labelKey(a.seq)] = true
+		global = append(global, &core.PathPattern{Seq: a.seq, Embs: a.embs, Support: sup})
+	}
+
+	local = make([][]*core.PathPattern, len(parts))
+	for s, part := range parts {
+		kept := make([]*core.PathPattern, 0, len(part))
+		for _, p := range part {
+			if frequent[labelKey(p.Seq)] {
+				kept = append(kept, p)
+			}
+		}
+		local[s] = kept
+	}
+	return global, local
+}
+
+// labelKey packs a label sequence into a map key.
+func labelKey(seq []graph.Label) string {
+	b := make([]byte, 0, len(seq)*4)
+	for _, l := range seq {
+		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(b)
+}

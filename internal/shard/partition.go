@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"skinnymine/internal/graph"
+	"skinnymine/internal/indexio"
+)
+
+// Partition assigns the graphs of a transaction database to shards:
+// hash-by-gid placement followed by a deterministic size-balancing
+// pass. The shard count is clamped to [1, len(graphs)] and every shard
+// ends up non-empty, so per-shard indexes and snapshot files are never
+// degenerate. The returned assignment lists each shard's graph IDs in
+// ascending order.
+//
+// Balancing minimizes the spread of per-shard load (vertices + edges)
+// greedily: while the heaviest shard holds a graph lighter than the
+// load gap to the lightest shard, moving that graph strictly shrinks
+// the sum of squared loads, so the pass terminates. Both phases are
+// pure functions of the input sizes — the same database always shards
+// the same way, which the sharded-snapshot format relies on only
+// loosely (the manifest records the assignment) but tests rely on
+// exactly.
+func Partition(graphs []*graph.Graph, shards int) [][]int32 {
+	if len(graphs) == 0 {
+		return nil // New surfaces the empty-database error
+	}
+	p := shards
+	if p > len(graphs) {
+		p = len(graphs)
+	}
+	// Never build more shards than the snapshot format can persist: a
+	// sharded engine that cannot write a loadable snapshot would strand
+	// its own data.
+	if p > indexio.MaxShards {
+		p = indexio.MaxShards
+	}
+	if p < 1 {
+		p = 1
+	}
+	weight := make([]int64, len(graphs))
+	shardOf := make([]int, len(graphs))
+	load := make([]int64, p)
+	count := make([]int, p)
+	for gid, g := range graphs {
+		weight[gid] = int64(g.N() + g.M())
+		s := int(gidHash(int32(gid)) % uint32(p))
+		shardOf[gid] = s
+		load[s] += weight[gid]
+		count[s]++
+	}
+
+	move := func(gid, to int) {
+		from := shardOf[gid]
+		shardOf[gid] = to
+		load[from] -= weight[gid]
+		load[to] += weight[gid]
+		count[from]--
+		count[to]++
+	}
+
+	// Hashing can leave a shard empty (p <= len(graphs) only guarantees
+	// enough graphs exist). Seed each empty shard with the largest graph
+	// of the heaviest shard that can spare one.
+	for s := 0; s < p; s++ {
+		if count[s] > 0 {
+			continue
+		}
+		donor := -1
+		for d := 0; d < p; d++ {
+			if count[d] >= 2 && (donor < 0 || load[d] > load[donor]) {
+				donor = d
+			}
+		}
+		best := -1
+		for gid := range graphs {
+			if shardOf[gid] != donor {
+				continue
+			}
+			if best < 0 || weight[gid] > weight[best] {
+				best = gid
+			}
+		}
+		move(best, s)
+	}
+
+	// Greedy rebalance: move the largest graph that fits in the gap
+	// from the heaviest to the lightest shard. A move never empties a
+	// shard — a sole member weighs the whole load, which cannot be
+	// smaller than the gap.
+	for iter := 0; iter < 4*len(graphs); iter++ {
+		hi, lo := 0, 0
+		for s := 1; s < p; s++ {
+			if load[s] > load[hi] {
+				hi = s
+			}
+			if load[s] < load[lo] {
+				lo = s
+			}
+		}
+		gap := load[hi] - load[lo]
+		best := -1
+		for gid := range graphs {
+			if shardOf[gid] != hi || weight[gid] >= gap {
+				continue
+			}
+			if best < 0 || weight[gid] > weight[best] {
+				best = gid
+			}
+		}
+		if best < 0 {
+			break
+		}
+		move(best, lo)
+	}
+
+	out := make([][]int32, p)
+	for gid := range graphs { // ascending gid order per shard
+		s := shardOf[gid]
+		out[s] = append(out[s], int32(gid))
+	}
+	return out
+}
+
+// gidHash is 32-bit FNV-1a over the graph ID's little-endian bytes.
+func gidHash(gid int32) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < 4; i++ {
+		h ^= uint32(byte(gid >> (8 * i)))
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,378 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"skinnymine/internal/core"
+	"skinnymine/internal/graph"
+	"skinnymine/internal/indexio"
+	"skinnymine/internal/support"
+	"skinnymine/internal/testutil"
+)
+
+// randomDB builds a transaction database of connected random graphs
+// sharing one label space.
+func randomDB(rng *rand.Rand, graphsN, minV, maxV, labels int) []*graph.Graph {
+	db := make([]*graph.Graph, graphsN)
+	for i := range db {
+		n := minV + rng.Intn(maxV-minV+1)
+		db[i] = testutil.RandomConnectedGraph(rng, n, n/2, labels)
+	}
+	return db
+}
+
+// renderPatterns serializes everything a mined pattern exposes —
+// structure, canonical code, every support measure, skinniness — so a
+// string comparison is a full-result comparison.
+func renderPatterns(ps []*core.Pattern) string {
+	var b strings.Builder
+	for _, p := range ps {
+		fmt.Fprintf(&b, "l=%d code=%x sup=%d gsup=%d mni=%d lvl=%d labels=%v edges=%v\n",
+			p.DiamLen, p.CodeKey(), p.Support(), p.Embs.Count(support.GraphCount),
+			p.Embs.MNI(), p.MaxLevel(), p.G.Labels(), p.G.Edges())
+	}
+	return b.String()
+}
+
+// renderPaths serializes Stage I path patterns with their embeddings,
+// so level comparisons are byte-exact.
+func renderPaths(ps []*core.PathPattern) string {
+	var b strings.Builder
+	for _, p := range ps {
+		fmt.Fprintf(&b, "seq=%v sup=%d embs=", p.Seq, p.Support)
+		for _, e := range p.Embs {
+			fmt.Fprintf(&b, "(%d:%v)", e.GID, e.Seq)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestShardedMatchesUnshardedRefguard is the sharding determinism
+// refguard: on randomized transaction databases, sharded mining at
+// P ∈ {1, 3, 8} must reproduce the unsharded result — pattern set,
+// structure, every support measure, output order — under both support
+// measures, diameter bands, and both concurrency modes.
+func TestShardedMatchesUnshardedRefguard(t *testing.T) {
+	type variant struct {
+		name string
+		opt  core.Options
+	}
+	base := core.DefaultOptions(2, 3, 1)
+	band := core.DefaultOptions(2, 4, 1)
+	band.MinLength = 2
+	tx := core.DefaultOptions(2, 3, 1)
+	tx.Measure = support.GraphCount
+	par := core.DefaultOptions(2, 3, 2)
+	par.Concurrency = 8
+	variants := []variant{
+		{"embeddings", base},
+		{"band", band},
+		{"graphcount", tx},
+		{"concurrent8", par},
+	}
+	trials := 2
+	if testing.Short() {
+		trials = 1
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		db := randomDB(rng, 6+trial*3, 10, 18, 4)
+		for _, v := range variants {
+			opt := v.opt
+			want, err := core.MineDB(db, opt)
+			if err != nil {
+				t.Fatalf("trial %d %s: unsharded: %v", trial, v.name, err)
+			}
+			wantS := renderPatterns(want.Patterns)
+			for _, p := range []int{1, 3, 8} {
+				eng, err := New(db, opt.Support, p)
+				if err != nil {
+					t.Fatalf("trial %d %s P=%d: New: %v", trial, v.name, p, err)
+				}
+				got, err := eng.Mine(opt)
+				if err != nil {
+					t.Fatalf("trial %d %s P=%d: Mine: %v", trial, v.name, p, err)
+				}
+				if gotS := renderPatterns(got.Patterns); gotS != wantS {
+					t.Errorf("trial %d %s P=%d: sharded result diverges\nsharded:\n%s\nunsharded:\n%s",
+						trial, v.name, p, gotS, wantS)
+				}
+				if got.Stats.PathsMined != want.Stats.PathsMined {
+					t.Errorf("trial %d %s P=%d: PathsMined %d, unsharded %d",
+						trial, v.name, p, got.Stats.PathsMined, want.Stats.PathsMined)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedConstrainedMatchesUnsharded checks that the pushdown hooks
+// flow through the sharded engine unchanged: seed-selection pruning on
+// the shared levels, growth pruning, output filtering.
+func TestShardedConstrainedMatchesUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := randomDB(rng, 8, 14, 22, 3)
+	opt := core.DefaultOptions(2, 3, 1)
+	forbidden := graph.Label(0)
+	opt.PrunePath = func(seq []graph.Label) bool {
+		for _, l := range seq {
+			if l == forbidden {
+				return true
+			}
+		}
+		return false
+	}
+	opt.PrunePattern = func(g *graph.Graph, _ int32, _ int) bool { return g.N() > 8 }
+	opt.OutputFilter = func(g *graph.Graph, _ int32, _ int) bool { return g.M() >= 3 }
+
+	ix, err := core.BuildIndex(db, opt.Support)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ix.Mine(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(db, opt.Support, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Mine(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderPatterns(got.Patterns) != renderPatterns(want.Patterns) {
+		t.Errorf("constrained sharded result diverges from shared-index result\nsharded:\n%s\nindexed:\n%s",
+			renderPatterns(got.Patterns), renderPatterns(want.Patterns))
+	}
+}
+
+// TestMinimalPatternsMatchesDiamMiner pins the merged Stage I levels —
+// including embeddings — against the unsharded DiamMiner's.
+func TestMinimalPatternsMatchesDiamMiner(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := randomDB(rng, 7, 12, 20, 3)
+	ix, err := core.BuildIndex(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(db, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []int{1, 2, 3, 5} {
+		want, err := ix.MinimalPatterns(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.MinimalPatterns(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderPaths(got) != renderPaths(want) {
+			t.Errorf("l=%d: merged level diverges\nsharded:\n%s\nunsharded:\n%s",
+				l, renderPaths(got), renderPaths(want))
+		}
+	}
+}
+
+func TestPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := randomDB(rng, 20, 8, 40, 3)
+
+	a := Partition(db, 4)
+	b := Partition(db, 4)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("partition is not deterministic: %v vs %v", a, b)
+	}
+
+	seen := make([]bool, len(db))
+	maxW := int64(0)
+	weight := func(gids []int32) int64 {
+		w := int64(0)
+		for _, gid := range gids {
+			w += int64(db[gid].N() + db[gid].M())
+		}
+		return w
+	}
+	for _, g := range db {
+		if w := int64(g.N() + g.M()); w > maxW {
+			maxW = w
+		}
+	}
+	var loads []int64
+	for _, gids := range a {
+		if len(gids) == 0 {
+			t.Fatal("empty shard")
+		}
+		for _, gid := range gids {
+			if seen[gid] {
+				t.Fatalf("graph %d assigned twice", gid)
+			}
+			seen[gid] = true
+		}
+		loads = append(loads, weight(gids))
+	}
+	for gid, ok := range seen {
+		if !ok {
+			t.Fatalf("graph %d unassigned", gid)
+		}
+	}
+	lo, hi := loads[0], loads[0]
+	for _, w := range loads {
+		if w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+	}
+	if hi-lo > maxW {
+		t.Errorf("load spread %d exceeds the largest graph weight %d: %v", hi-lo, maxW, loads)
+	}
+
+	// Clamping: more shards than graphs degenerates to one graph per
+	// shard, never an empty shard.
+	small := Partition(db[:3], 8)
+	if len(small) != 3 {
+		t.Fatalf("expected clamp to 3 shards, got %d", len(small))
+	}
+}
+
+// TestPartitionClampsToFormatLimit: partitioning never exceeds what the
+// sharded-snapshot format can persist.
+func TestPartitionClampsToFormatLimit(t *testing.T) {
+	db := make([]*graph.Graph, indexio.MaxShards+5)
+	for i := range db {
+		g := graph.New(1)
+		g.AddVertex(0)
+		db[i] = g
+	}
+	if got := len(Partition(db, indexio.MaxShards+5)); got != indexio.MaxShards {
+		t.Fatalf("Partition built %d shards, format limit is %d", got, indexio.MaxShards)
+	}
+}
+
+// TestRunShardsHonorsWorkerBudget: at most `workers` shards execute
+// concurrently — Concurrency=1 must stay fully sequential.
+func TestRunShardsHonorsWorkerBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	db := randomDB(rng, 8, 6, 10, 3)
+	eng, err := New(db, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		var inFlight, peak atomic.Int64
+		eng.runShards(workers, func(s, w int) []*core.PathPattern {
+			cur := inFlight.Add(1)
+			defer inFlight.Add(-1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+		if peak.Load() > int64(workers) {
+			t.Errorf("workers=%d: %d shards ran concurrently", workers, peak.Load())
+		}
+	}
+}
+
+func TestNewRejectsEmptyDatabase(t *testing.T) {
+	if _, err := New(nil, 2, 3); err == nil {
+		t.Fatal("empty database accepted")
+	}
+	if got := Partition(nil, 3); got != nil {
+		t.Fatalf("Partition(nil) = %v, want nil", got)
+	}
+}
+
+func TestEngineRestoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db := randomDB(rng, 6, 12, 20, 3)
+	opt := core.DefaultOptions(2, 3, 1)
+	eng, err := New(db, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Mine(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Restore(eng.ShardStates(), eng.Assignment(), eng.Sigma())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(re.MaterializedLevels()) != fmt.Sprint(eng.MaterializedLevels()) {
+		t.Fatalf("restored levels %v, want %v", re.MaterializedLevels(), eng.MaterializedLevels())
+	}
+	for _, l := range eng.MaterializedLevels() {
+		a, _ := eng.MinimalPatterns(l)
+		b, _ := re.MinimalPatterns(l)
+		if renderPaths(a) != renderPaths(b) {
+			t.Errorf("restored level %d diverges", l)
+		}
+	}
+	got, err := re.Mine(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderPatterns(got.Patterns) != renderPatterns(want.Patterns) {
+		t.Error("restored engine mines a different result")
+	}
+}
+
+func TestRestoreRejectsInconsistentState(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	db := randomDB(rng, 4, 10, 14, 3)
+	eng, err := New(db, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Mine(core.DefaultOptions(2, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	states := eng.ShardStates()
+	assign := eng.Assignment()
+
+	if _, err := Restore(states[:1], assign, 2); err == nil {
+		t.Error("state/assignment count mismatch accepted")
+	}
+	if _, err := Restore(states, assign, 3); err == nil {
+		t.Error("sigma mismatch accepted")
+	}
+	bad := eng.Assignment()
+	bad[0][0] = bad[1][0] // duplicate gid
+	if _, err := Restore(states, bad, 2); err == nil {
+		t.Error("duplicate graph assignment accepted")
+	}
+
+	// An out-of-range embedding vertex must be rejected at Restore, not
+	// crash a later materialization that joins the restored projections
+	// (the Seq is cloned so the live engine's data stays intact).
+	for l, ps := range states[0].Levels {
+		if len(ps) == 0 || len(ps[0].Embs) == 0 {
+			continue
+		}
+		tampered := eng.ShardStates()
+		e0 := tampered[0].Levels[l][0].Embs[0]
+		seq := append(graph.Path(nil), e0.Seq...)
+		seq[0] = 9999
+		tampered[0].Levels[l][0].Embs[0] = core.PathEmb{GID: e0.GID, Seq: seq}
+		if _, err := Restore(tampered, assign, 2); err == nil {
+			t.Errorf("level %d: out-of-range embedding vertex accepted", l)
+		}
+		break
+	}
+}

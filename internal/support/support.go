@@ -1,9 +1,3 @@
-// Package support provides embeddings and support counting for pattern
-// mining. The paper defines an embedding of a pattern P in a graph G as a
-// subgraph of G isomorphic to P, and the support of P in the single-graph
-// setting as |E[P]|, the number of such subgraphs. Distinct isomorphism
-// maps onto the same subgraph (pattern automorphisms) therefore count
-// once; embeddings are deduplicated by their edge-set key.
 package support
 
 import (

@@ -1,0 +1,25 @@
+// Package synth generates the paper's synthetic and simulated-real
+// workloads, plus the skewed-label workload the constraint benchmarks
+// use.
+//
+// # Paper correspondence
+//
+// ER + Inject reproduce the evaluation's Erdős–Rényi background graphs
+// with injected skinny/fat patterns (Tables 1–3, Figures 4–20; the
+// graph-database setting of Figures 9–10 assembles from them in
+// internal/exp); the DBLP and Sina Weibo stand-ins model the case
+// studies of Figures 21–24. Skew is this repository's addition: a
+// Zipf-labeled background
+// with identical rare-band-labeled skinny motifs, so a label constraint
+// selects (or excludes) the planted patterns exactly — the
+// selectivity workload behind BenchmarkMineConstrained* and the batch
+// example.
+//
+// # Determinism and ownership
+//
+// Every generator takes an explicit *rand.Rand and is a pure function
+// of it, so all experiments are reproducible bit-for-bit; none of the
+// generators retain state, and the returned graphs are owned by the
+// caller. Generators are safe to call concurrently only with distinct
+// *rand.Rand instances (math/rand sources are not concurrency-safe).
+package synth

@@ -1,9 +1,3 @@
-// Package synth generates the paper's synthetic and simulated-real
-// workloads: Erdős–Rényi background graphs with injected skinny/fat
-// patterns (Tables 1–3, Figures 4–20), transaction databases (Figures
-// 9–10), and the DBLP / Sina Weibo stand-ins described in DESIGN.md §5.
-// Every generator takes an explicit *rand.Rand so all experiments are
-// reproducible bit-for-bit.
 package synth
 
 import (

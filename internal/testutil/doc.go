@@ -1,0 +1,13 @@
+// Package testutil provides deterministic graph builders shared by
+// tests and benchmarks across the repository: the synthetic parallel-
+// mining workload (SynthWorkload — the one recipe the determinism
+// tests, the sharding refguards and the scaling benchmarks all pin, so
+// they measure the same thing), random connected graphs, vertex
+// permutations for isomorphism-invariance tests, and small fixed shapes
+// (paths, cycles).
+//
+// Everything here is a pure function of its *rand.Rand or arguments —
+// no global state, no hidden seeds — so any two test runs see identical
+// inputs. Helpers are safe to call concurrently only with distinct
+// *rand.Rand instances.
+package testutil

@@ -1,5 +1,3 @@
-// Package testutil provides deterministic random-graph helpers shared by
-// tests across the repository.
 package testutil
 
 import (

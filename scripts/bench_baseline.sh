@@ -10,23 +10,32 @@
 # CI passes it explicitly so the uploaded artifact and the committed
 # snapshot share one recipe.
 #
+# Two suites run: the root mining benchmarks (concurrency scaling, the
+# constrained-mine pushdown pair, and the sharded-vs-unsharded curve)
+# and the serving benchmarks in internal/server (one batch call vs N
+# sequential /v1/mine round trips over the same requests).
+#
 # Environment:
-#   BENCHTIME   go test -benchtime value (default 1x: one full mine per
-#               variant; raise to 3x/1s locally for tighter numbers)
-#   BENCH_RE    benchmark regexp (default: the concurrency-scaling mine
-#               benchmarks plus the constrained-mine pushdown pair)
+#   BENCHTIME        go test -benchtime value (default 1x: one full mine
+#                    per variant; raise to 3x/1s locally for tighter
+#                    numbers)
+#   BENCH_RE         root benchmark regexp (default: concurrency,
+#                    constrained, sharded)
+#   BENCH_SERVER_RE  server benchmark regexp (default: the batch pair)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr4.json}
+OUT=${1:-BENCH_pr5.json}
 BENCHTIME=${BENCHTIME:-1x}
-BENCH_RE=${BENCH_RE:-'^BenchmarkMine(Concurrency|Constrained)'}
+BENCH_RE=${BENCH_RE:-'^BenchmarkMine(Concurrency|Constrained|Sharded)'}
+BENCH_SERVER_RE=${BENCH_SERVER_RE:-'^BenchmarkServer(Sequential|Batch)'}
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' -bench "$BENCH_RE" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+go test -run '^$' -bench "$BENCH_SERVER_RE" -benchmem -benchtime "$BENCHTIME" ./internal/server | tee -a "$RAW"
 
 awk -v benchtime="$BENCHTIME" '
   /^Benchmark/ {

@@ -2,15 +2,20 @@
 # End-to-end smoke test of the serving subsystem: build the binaries,
 # mine a synthetic graph with the CLI (emitting a snapshot), serve the
 # snapshot with skinnymined, and check that /v1/mine returns the same
-# result the CLI printed, that the request cache hits on a repeat, and
-# that /v1/backbones and /healthz answer. Requires curl and jq.
+# result the CLI printed, that the request cache hits on a repeat, that
+# /v1/batch deduplicates (N duplicates -> one mining run, verified via
+# the /metrics cache counters), that a sharded snapshot serves results
+# byte-identical to the unsharded CLI, and that /v1/backbones and
+# /healthz answer. Requires curl and jq.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
 daemon_pid=""
+daemon2_pid=""
 cleanup() {
   [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  [ -n "$daemon2_pid" ] && kill "$daemon2_pid" 2>/dev/null || true
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -55,6 +60,39 @@ e 8 11
 e 12 13
 EOF
 
+# The same workload as a three-graph transaction database, for the
+# sharded sections (one graph per route copy plus the noise pair).
+cat > "$workdir/graphdb.txt" <<'EOF'
+t # 0
+v 0 0
+v 1 1
+v 2 2
+v 3 3
+v 4 4
+v 5 5
+e 0 1
+e 1 2
+e 2 3
+e 3 4
+e 2 5
+t # 1
+v 0 0
+v 1 1
+v 2 2
+v 3 3
+v 4 4
+v 5 5
+e 0 1
+e 1 2
+e 2 3
+e 3 4
+e 2 5
+t # 2
+v 0 6
+v 1 7
+e 0 1
+EOF
+
 echo "== CLI mine + snapshot"
 "$workdir/bin/skinnymine" -input "$workdir/graph.txt" -support 2 -length 4 -delta 1 \
   -json -snapshot "$workdir/city.idx" > "$workdir/cli.json"
@@ -72,7 +110,7 @@ for i in $(seq 1 50); do
   kill -0 "$daemon_pid" 2>/dev/null || { echo "FAIL: daemon died"; cat "$workdir/daemon.log"; exit 1; }
   sleep 0.2
 done
-jq -e '.status == "ok" and .graphs == 1 and .sigma == 2' "$workdir/health.json" > /dev/null \
+jq -e '.status == "ok" and .graphs == 1 and .sigma == 2 and .shards == 1' "$workdir/health.json" > /dev/null \
   || { echo "FAIL: healthz says $(cat "$workdir/health.json")"; exit 1; }
 
 echo "== /v1/mine matches CLI -json output"
@@ -88,6 +126,29 @@ curl -sf "$base/metrics" > "$workdir/metrics.json"
 jq -e '.mine.cache_hits >= 1 and .mine.runs == 1' "$workdir/metrics.json" > /dev/null \
   || { echo "FAIL: metrics say $(cat "$workdir/metrics.json")"; exit 1; }
 
+echo "== /v1/batch of duplicates performs exactly one mine"
+# Three copies of a NEW request plus one duplicate of the cached one:
+# the batch must report 2 unique entries and 1 cache hit, and the mine
+# run counter must rise by exactly one (3 duplicates -> 1 run).
+curl -sf "$base/v1/batch" -d '{"requests":[
+    {"length":4,"delta":0},
+    {"length":4,"delta":0},
+    {"length":4,"delta":0},
+    {"length":4,"delta":1}]}' > "$workdir/batch.json"
+jq -e '.items == 4 and .unique == 2 and .cache_hits == 1' "$workdir/batch.json" > /dev/null \
+  || { echo "FAIL: batch accounting says $(cat "$workdir/batch.json" | jq '{items,unique,cache_hits}')"; exit 1; }
+jq -e '[.results[].source] == ["miss","duplicate","duplicate","hit"]' "$workdir/batch.json" > /dev/null \
+  || { echo "FAIL: batch sources $(jq '[.results[].source]' "$workdir/batch.json")"; exit 1; }
+curl -sf "$base/metrics" > "$workdir/metrics2.json"
+jq -e '.mine.runs == 2 and .batch.items == 4 and .batch.unique == 2 and .batch.deduped == 2' \
+  "$workdir/metrics2.json" > /dev/null \
+  || { echo "FAIL: post-batch metrics say $(cat "$workdir/metrics2.json")"; exit 1; }
+
+echo "== batched result matches the single-request result"
+diff <(jq -S "$norm" "$workdir/served.json") \
+     <(jq -S ".results[3].result | $norm" "$workdir/batch.json") \
+  || { echo "FAIL: batched result differs from /v1/mine's"; exit 1; }
+
 echo "== /v1/backbones serves Stage I patterns"
 curl -sf "$base/v1/backbones?l=4" | jq -e '.count >= 1' > /dev/null \
   || { echo "FAIL: no backbones served"; exit 1; }
@@ -96,7 +157,47 @@ echo "== malformed request is a 4xx"
 code=$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/mine" -d '{"length":')
 [ "$code" = 400 ] || { echo "FAIL: malformed request returned $code"; exit 1; }
 
+echo "== sharded CLI mine is byte-identical to unsharded"
+"$workdir/bin/skinnymine" -input "$workdir/graphdb.txt" -support 2 -length 4 -delta 1 \
+  -json > "$workdir/db-flat.json"
+"$workdir/bin/skinnymine" -input "$workdir/graphdb.txt" -support 2 -length 4 -delta 1 \
+  -shards 3 -json -snapshot "$workdir/db.idx" > "$workdir/db-sharded.json"
+diff <(jq "$norm" "$workdir/db-flat.json") <(jq "$norm" "$workdir/db-sharded.json") \
+  || { echo "FAIL: sharded CLI output differs from unsharded"; exit 1; }
+[ -s "$workdir/db.idx" ] || { echo "FAIL: sharded manifest not written"; exit 1; }
+nshards=$(ls "$workdir"/db.idx.shard* 2>/dev/null | wc -l)
+[ "$nshards" = 3 ] || { echo "FAIL: expected 3 shard files, found $nshards"; exit 1; }
+
+port2=$((20000 + RANDOM % 20000))
+echo "== serving the sharded snapshot on :$port2"
+"$workdir/bin/skinnymined" -index "$workdir/db.idx" -addr "127.0.0.1:$port2" \
+  > "$workdir/daemon2.log" 2>&1 &
+daemon2_pid=$!
+base2="http://127.0.0.1:$port2"
+for i in $(seq 1 50); do
+  if curl -sf "$base2/healthz" > "$workdir/health2.json" 2>/dev/null; then break; fi
+  kill -0 "$daemon2_pid" 2>/dev/null || { echo "FAIL: sharded daemon died"; cat "$workdir/daemon2.log"; exit 1; }
+  sleep 0.2
+done
+jq -e '.status == "ok" and .graphs == 3 and .shards == 3' "$workdir/health2.json" > /dev/null \
+  || { echo "FAIL: sharded healthz says $(cat "$workdir/health2.json")"; exit 1; }
+curl -sf "$base2/v1/mine" -d '{"length":4,"delta":1}' > "$workdir/db-served.json"
+diff <(jq "$norm" "$workdir/db-flat.json") <(jq "$norm" "$workdir/db-served.json") \
+  || { echo "FAIL: sharded daemon result differs from the unsharded CLI's"; exit 1; }
+
+echo "== corrupted sharded snapshot is refused"
+shardfile=$(ls "$workdir"/db.idx.shard* | head -1)
+printf '\x00' | dd of="$shardfile" bs=1 seek=20 count=1 conv=notrunc 2>/dev/null
+if "$workdir/bin/skinnymined" -index "$workdir/db.idx" -addr "127.0.0.1:1" > "$workdir/corrupt.log" 2>&1; then
+  echo "FAIL: daemon served a corrupted sharded snapshot"; exit 1
+fi
+grep -qi "checksum\|corrupt\|inconsistent" "$workdir/corrupt.log" \
+  || { echo "FAIL: corruption error not reported: $(cat "$workdir/corrupt.log")"; exit 1; }
+
 echo "== graceful shutdown"
+kill -TERM "$daemon2_pid"
+wait "$daemon2_pid" || { echo "FAIL: sharded daemon exited non-zero"; exit 1; }
+daemon2_pid=""
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || { echo "FAIL: daemon exited non-zero"; exit 1; }
 daemon_pid=""

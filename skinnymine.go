@@ -45,10 +45,21 @@
 //
 // The cmd/skinnymined daemon serves a snapshot (or builds an index from
 // a graph file) over HTTP — POST /v1/mine takes the Options fields as
-// JSON and returns ResultJSON — with an LRU result cache, singleflight
-// request coalescing and a bounded-concurrency admission gate
-// (internal/server). cmd/skinnymine -snapshot emits snapshots from the
-// command line.
+// JSON and returns ResultJSON, POST /v1/batch answers many requests in
+// one deduplicated scheduling pass — with an LRU result cache,
+// singleflight request coalescing and a bounded-concurrency admission
+// gate (internal/server). cmd/skinnymine -snapshot emits snapshots from
+// the command line.
+//
+// # Sharding
+//
+// A transaction database can be mined sharded: Options.Shards (or
+// BuildShardedIndex for the serving deployment) partitions the graphs,
+// runs Stage I shard-parallel with an exact cross-shard support merge,
+// and grows the merged seeds — byte-identical output at every shard
+// count (internal/shard). A sharded index persists to per-shard
+// snapshot files under a CRC'd manifest; LoadIndexFile restores either
+// snapshot kind.
 //
 // # Declarative constraints
 //
@@ -101,6 +112,7 @@ import (
 	"skinnymine/internal/constraint"
 	"skinnymine/internal/core"
 	"skinnymine/internal/graph"
+	"skinnymine/internal/shard"
 	"skinnymine/internal/support"
 )
 
@@ -217,6 +229,17 @@ type Options struct {
 	// both modes equally: the output filter always precedes the closed
 	// filter.)
 	NoPushdown bool
+	// Shards partitions the transaction database across that many
+	// shards (hash-by-gid with size balancing, clamped to the graph
+	// count): Stage I candidate generation runs shard-parallel with an
+	// exact cross-shard support merge per path level, and Stage II
+	// grows the merged seeds. 0 or 1 means unsharded. The result is
+	// byte-identical at every shard count — sharding changes the
+	// execution plan, never the output (see internal/shard and the
+	// README's "Sharding and batch serving" section). Only Mine and
+	// MineDB honor the field; an Index is sharded (or not) at build
+	// time via BuildShardedIndex, and Index.Mine ignores it.
+	Shards int
 }
 
 func (o Options) measure() support.Measure {
@@ -405,9 +428,24 @@ func MineDB(graphs []*Graph, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.MineDB(raw, copt)
-	if err != nil {
-		return nil, err
+	var res *core.Result
+	if opt.Shards > 1 {
+		// Request-private sharded engine. Stage I prunes at seed
+		// selection (the shard level caches stay complete, like a
+		// shared index); the pattern set is byte-identical either way.
+		eng, err := shard.New(raw, opt.Support, opt.Shards)
+		if err != nil {
+			return nil, err
+		}
+		res, err = eng.Mine(copt)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		res, err = core.MineDB(raw, copt)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return finishResult(res, lt, tk, opt), nil
 }
@@ -481,31 +519,77 @@ func (c *Corpus) NewGraph() *Graph {
 	return &Graph{g: graph.New(16), lt: c.lt}
 }
 
+// indexBackend is the engine behind an Index: the method set
+// core.DirectIndex and shard.Engine share. Everything but snapshot
+// writing and the shard count goes through it, so Index methods don't
+// branch per engine kind.
+type indexBackend interface {
+	Mine(opt core.Options) (*core.Result, error)
+	MinimalPatterns(l int) ([]*core.PathPattern, error)
+	Sigma() int
+	NumGraphs() int
+	SetConcurrency(n int)
+	MaterializedLevels() []int
+}
+
 // Index is the pre-computed minimal-pattern index of the direct mining
-// framework (Figure 2): build once, serve many (l, δ) requests.
+// framework (Figure 2): build once, serve many (l, δ) requests. A
+// sharded index (BuildShardedIndex) answers the same requests with the
+// same bytes, materializing Stage I shard-parallel.
 type Index struct {
-	ix *core.DirectIndex
-	lt *graph.LabelTable
+	back indexBackend
+	ix   *core.DirectIndex // set iff unsharded
+	eng  *shard.Engine     // set iff sharded
+	lt   *graph.LabelTable
 }
 
 // BuildIndex pre-computes the index over the graphs at threshold σ.
 func BuildIndex(graphs []*Graph, sigma int) (*Index, error) {
-	if len(graphs) == 0 {
-		return nil, fmt.Errorf("skinnymine: no input graphs")
-	}
-	lt := graphs[0].lt
-	raw := make([]*graph.Graph, len(graphs))
-	for i, g := range graphs {
-		if g.lt != lt {
-			return nil, fmt.Errorf("skinnymine: graph %d uses a different label table", i)
-		}
-		raw[i] = g.g
+	lt, raw, err := rawGraphs(graphs)
+	if err != nil {
+		return nil, err
 	}
 	ix, err := core.BuildIndex(raw, sigma)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{ix: ix, lt: lt}, nil
+	return &Index{back: ix, ix: ix, lt: lt}, nil
+}
+
+// BuildShardedIndex pre-computes a sharded index: the database is
+// partitioned across the given shard count (clamped to the graph
+// count), Stage I levels materialize shard-parallel with an exact
+// cross-shard support merge, and every request mines byte-identically
+// to the unsharded index. shards <= 1 builds a plain index.
+func BuildShardedIndex(graphs []*Graph, sigma, shards int) (*Index, error) {
+	if shards <= 1 {
+		return BuildIndex(graphs, sigma)
+	}
+	lt, raw, err := rawGraphs(graphs)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := shard.New(raw, sigma, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{back: eng, eng: eng, lt: lt}, nil
+}
+
+// rawGraphs unwraps a database sharing one label table.
+func rawGraphs(graphs []*Graph) (*graph.LabelTable, []*graph.Graph, error) {
+	if len(graphs) == 0 {
+		return nil, nil, fmt.Errorf("skinnymine: no input graphs")
+	}
+	lt := graphs[0].lt
+	raw := make([]*graph.Graph, len(graphs))
+	for i, g := range graphs {
+		if g.lt != lt {
+			return nil, nil, fmt.Errorf("skinnymine: graph %d uses a different label table", i)
+		}
+		raw[i] = g.g
+	}
+	return lt, raw, nil
 }
 
 // Mine serves one request from the index. Options.Support must equal
@@ -524,7 +608,7 @@ func (ix *Index) Mine(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := ix.ix.Mine(copt)
+	res, err := ix.back.Mine(copt)
 	if err != nil {
 		return nil, err
 	}
@@ -535,7 +619,7 @@ func (ix *Index) Mine(opt Options) (*Result, error) {
 // length l — the minimal constraint-satisfying patterns Stage I mines,
 // each the canonical diameter of every pattern grown from it.
 func (ix *Index) MinimalBackbones(l int) ([][]string, error) {
-	paths, err := ix.ix.MinimalPatterns(l)
+	paths, err := ix.back.MinimalPatterns(l)
 	if err != nil {
 		return nil, err
 	}

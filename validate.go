@@ -25,6 +25,8 @@ var (
 	ErrMeasure = errors.New(`measure must be EmbeddingCount ("embeddings") or GraphCount ("graphs")`)
 	// ErrMaxPatterns reports a negative MaxPatterns.
 	ErrMaxPatterns = errors.New("max_patterns must be >= 0")
+	// ErrShards reports a negative Shards.
+	ErrShards = errors.New("shards must be >= 0")
 	// ErrWhere wraps a Where constraint that failed to parse.
 	ErrWhere = errors.New("invalid where constraint")
 )
@@ -48,6 +50,9 @@ func (o Options) Validate() error {
 	}
 	if o.MaxPatterns < 0 {
 		return fmt.Errorf("skinnymine: %w (got %d)", ErrMaxPatterns, o.MaxPatterns)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("skinnymine: %w (got %d)", ErrShards, o.Shards)
 	}
 	if _, err := o.parsedWhere(); err != nil {
 		return err
