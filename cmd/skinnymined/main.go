@@ -20,6 +20,25 @@
 //	curl -s localhost:8080/v1/batch \
 //	    -d '{"requests":[{"length":4,"delta":1},{"length":5,"delta":1}]}'
 //
+// # Distributed mining
+//
+// A sharded snapshot can also be served by a fleet: one worker process
+// per shard file plus a coordinator that scatter/gathers Stage I
+// candidate generation and runs the exact cross-shard merge locally.
+//
+//	skinnymined -worker city.idx.shard0-<crc> -addr :9001
+//	skinnymined -worker city.idx.shard1-<crc> -addr :9002
+//	skinnymined -index city.idx -workers localhost:9001,localhost:9002
+//
+// Worker addresses are positional — -workers lists shard 0's worker
+// first — and every RPC is pinned to the manifest's shard checksum, so
+// a miswired fleet fails loudly (409) instead of mining garbage. The
+// coordinator retries transient worker failures with backoff, hedges
+// stragglers (-worker-hedge-after), probes worker health in the
+// background, and answers 503 — never a hang, never a partial result —
+// when a shard stays unreachable past the retry budget. Output is
+// byte-identical to serving the same snapshot in-process.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests before exiting.
 package main
@@ -33,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,19 +72,48 @@ func main() {
 		maxLen   = flag.Int("max-length", 0, "largest diameter length a request may ask for (0: 64)")
 		maxBatch = flag.Int("max-batch", 0, "requests accepted per /v1/batch call (0: 64, negative: disable the endpoint)")
 		cache    = flag.Int("cache", 0, "result cache entries (0: 256, negative: disable)")
+		ixConc   = flag.Int("index-concurrency", 0, "index worker pool for backbones materialization (>0: that many, <0: one per CPU, 0: leave the index as configured)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+
+		worker      = flag.String("worker", "", "serve Stage I for ONE shard snapshot file (worker mode; pairs with a coordinator's -workers)")
+		workers     = flag.String("workers", "", "comma-separated worker addresses, one per shard in manifest order; turns -index into a distributed coordinator")
+		workerTO    = flag.Duration("worker-timeout", 0, "per-attempt worker RPC timeout (0: 30s)")
+		workerTries = flag.Int("worker-retries", -1, "worker RPC re-attempts after a retryable failure (negative: 2)")
+		workerWait  = flag.Duration("worker-backoff", 0, "wait before the first worker retry, doubling per retry (0: 100ms)")
+		workerHedge = flag.Duration("worker-hedge-after", 0, "duplicate a worker RPC not answered within this long (0: no hedging)")
+		workerProbe = flag.Duration("worker-probe", 5*time.Second, "worker health probe period (0: no probing)")
 	)
 	flag.Parse()
+
+	if *worker != "" {
+		if *index != "" || *input != "" || *workers != "" {
+			fmt.Fprintln(os.Stderr, "usage: skinnymined -worker <shard file> [-addr :9001] (worker mode takes no -index/-input/-workers)")
+			os.Exit(2)
+		}
+		runWorker(*worker, *addr, *drain)
+		return
+	}
 	if (*index == "") == (*input == "") {
-		fmt.Fprintln(os.Stderr, "usage: skinnymined (-index <snapshot> | -input <file> [-support σ]) [-addr :8080]")
+		fmt.Fprintln(os.Stderr, "usage: skinnymined (-index <snapshot> | -input <file> [-support σ] | -worker <shard file>) [-addr :8080]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	if *workers != "" && *index == "" {
+		fmt.Fprintln(os.Stderr, "skinnymined: -workers requires -index (a sharded manifest)")
+		os.Exit(2)
+	}
 
-	ix, err := openIndex(*index, *input, *sigma, *shards)
+	ix, err := openIndex(*index, *input, *sigma, *shards, *workers, skinnymine.DistributedConfig{
+		WorkerTimeout: *workerTO,
+		WorkerRetries: *workerTries,
+		RetryBackoff:  *workerWait,
+		HedgeAfter:    *workerHedge,
+		ProbeInterval: *workerProbe,
+	})
 	if err != nil {
 		fatal(err)
 	}
+	defer ix.Close()
 	log.Printf("index ready: %d graph(s), σ=%d, %d shard(s), materialized levels %v",
 		ix.NumGraphs(), ix.Sigma(), ix.Shards(), ix.MaterializedLevels())
 
@@ -75,17 +124,34 @@ func main() {
 		log.Printf("snapshot saved to %s", *save)
 	}
 
-	srv, err := server.New(server.Config{Index: ix, MaxConcurrent: *maxConc, MaxLength: *maxLen, MaxBatch: *maxBatch, CacheSize: *cache})
+	srv, err := server.New(server.Config{
+		Index: ix, MaxConcurrent: *maxConc, MaxLength: *maxLen,
+		MaxBatch: *maxBatch, CacheSize: *cache, IndexConcurrency: *ixConc,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	serve(&http.Server{Addr: *addr, Handler: srv.Handler()}, *addr, *drain)
+}
 
+// runWorker serves one shard snapshot file's Stage I candidate
+// generation until SIGINT/SIGTERM.
+func runWorker(path, addr string, drain time.Duration) {
+	w, err := skinnymine.LoadShardWorkerFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("worker ready: shard file %s, %d graph(s), σ=%d, crc %08x", path, w.NumGraphs(), w.Sigma(), w.CRC())
+	serve(&http.Server{Addr: addr, Handler: w}, addr, drain)
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains.
+func serve(hs *http.Server, addr string, drain time.Duration) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	done := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s", *addr)
+		log.Printf("serving on %s", addr)
 		done <- hs.ListenAndServe()
 	}()
 
@@ -94,8 +160,8 @@ func main() {
 		fatal(err) // bind failure or similar; ListenAndServe never returns nil here
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down (draining up to %v)", *drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	log.Printf("shutting down (draining up to %v)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		fatal(fmt.Errorf("shutdown: %w", err))
@@ -107,9 +173,20 @@ func main() {
 }
 
 // openIndex loads a snapshot (plain or sharded, sniffed by magic) or
-// builds the index — sharded when asked — from a graph file.
-func openIndex(snapshot, input string, sigma, shards int) (*skinnymine.Index, error) {
+// builds the index — sharded when asked — from a graph file. A
+// non-empty workerList turns a sharded manifest into a distributed
+// coordinator over those workers.
+func openIndex(snapshot, input string, sigma, shards int, workerList string, dcfg skinnymine.DistributedConfig) (*skinnymine.Index, error) {
 	if snapshot != "" {
+		if workerList != "" {
+			dcfg.Workers = splitWorkers(workerList)
+			ix, err := skinnymine.LoadDistributedIndexFile(snapshot, dcfg)
+			if err != nil {
+				return nil, err
+			}
+			log.Printf("loaded snapshot %s as a distributed coordinator over %d worker(s)", snapshot, len(dcfg.Workers))
+			return ix, nil
+		}
 		ix, err := skinnymine.LoadIndexFile(snapshot)
 		if err != nil {
 			return nil, err
@@ -130,6 +207,18 @@ func openIndex(snapshot, input string, sigma, shards int) (*skinnymine.Index, er
 		return nil, fmt.Errorf("no graphs in %s", input)
 	}
 	return skinnymine.BuildShardedIndex(graphs, sigma, shards)
+}
+
+// splitWorkers parses the -workers flag: comma-separated, whitespace
+// tolerated, empties dropped.
+func splitWorkers(s string) []string {
+	var out []string
+	for _, w := range strings.Split(s, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

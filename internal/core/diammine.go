@@ -278,6 +278,10 @@ func (m *DiamMiner) SetConcurrency(n int) {
 	m.concurrency = n
 }
 
+// Concurrency reports the current materialization worker budget, always
+// resolved to a positive count.
+func (m *DiamMiner) Concurrency() int { return m.concurrency }
+
 // Mine returns all frequent simple paths of length exactly l, sorted by
 // canonical label sequence. Results are cached per length. Mine is safe
 // for concurrent callers: cache hits share a read lock, while a miss

@@ -193,6 +193,10 @@ func BuildIndex(graphs []*graph.Graph, sigma int) (*DirectIndex, error) {
 // use their own Options.Concurrency without touching this setting.
 func (ix *DirectIndex) SetConcurrency(n int) { ix.dm.SetConcurrency(n) }
 
+// Concurrency reports the current materialization worker budget, always
+// resolved to a positive count.
+func (ix *DirectIndex) Concurrency() int { return ix.dm.Concurrency() }
+
 // MinimalPatterns returns the minimal constraint-satisfying patterns for
 // diameter length l (the frequent paths of that length).
 func (ix *DirectIndex) MinimalPatterns(l int) ([]*PathPattern, error) {

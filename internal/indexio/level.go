@@ -1,0 +1,172 @@
+package indexio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"skinnymine/internal/core"
+	"skinnymine/internal/graph"
+)
+
+// LevelMagic opens every level-set stream — the wire encoding of one
+// per-shard candidate (or projection) set, exchanged between the
+// distributed coordinator and its shard workers.
+//
+// The format follows the v1 snapshot discipline — versioned, canonical,
+// CRC-sealed — but carries exactly one pattern slice:
+//
+//	magic    8 bytes  "SKMINELV"
+//	version  uvarint  currently 1
+//	seqlen   uvarint  labels per pattern (l+1 for path length l; 0 iff empty)
+//	patterns uvarint count, then per pattern in slice order:
+//	           seqlen × uvarint canonical label sequence
+//	           uvarint support
+//	           uvarint embeddings, per embedding:
+//	             uvarint graph ID, seqlen × uvarint vertex ID
+//	crc      4 bytes  little-endian IEEE CRC-32 of everything above
+//
+// Pattern, embedding and vertex order are preserved exactly — the
+// coordinator's cross-shard merge is order-sensitive, and the
+// byte-identical mining guarantee rides on the wire codec never
+// reordering anything. SaveLevel∘LoadLevel is the identity on valid
+// input; LoadLevel rejects truncation, checksum mismatch and
+// out-of-range references with an error naming what failed.
+const LevelMagic = "SKMINELV"
+
+const levelVersion = 1
+
+// SaveLevel writes one pattern slice to w in the level-set wire format.
+// Every pattern must share one sequence length; embeddings must match
+// it. Graph IDs are written as-is — the two endpoints agree on whether
+// they are global or shard-local.
+func SaveLevel(w io.Writer, ps []*core.PathPattern) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	if _, err := bw.WriteString(LevelMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, levelVersion)
+	seqLen := 0
+	if len(ps) > 0 {
+		seqLen = len(ps[0].Seq)
+	}
+	writeUvarint(bw, uint64(seqLen))
+	writeUvarint(bw, uint64(len(ps)))
+	for i, p := range ps {
+		if len(p.Seq) != seqLen {
+			return fmt.Errorf("indexio: level pattern %d has %d labels, pattern 0 has %d", i, len(p.Seq), seqLen)
+		}
+		for _, lab := range p.Seq {
+			writeUvarint(bw, uint64(lab))
+		}
+		writeUvarint(bw, uint64(p.Support))
+		writeUvarint(bw, uint64(len(p.Embs)))
+		for _, e := range p.Embs {
+			if len(e.Seq) != seqLen {
+				return fmt.Errorf("indexio: level pattern %d embedding has %d vertices, want %d", i, len(e.Seq), seqLen)
+			}
+			writeUvarint(bw, uint64(e.GID))
+			for _, v := range e.Seq {
+				writeUvarint(bw, uint64(v))
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// LoadLevel reads one pattern slice from r. numLabels and numGraphs
+// bound the label and graph-ID vocabularies the decoded patterns may
+// reference (vertex IDs are range-checked by the consumer, which owns
+// the graphs). A truncated, corrupted or out-of-range stream is
+// rejected with a descriptive error, never a partial slice.
+func LoadLevel(r io.Reader, numLabels, numGraphs int) ([]*core.PathPattern, error) {
+	sr := &sumReader{r: bufio.NewReader(r), crc: crc32.NewIEEE()}
+	head := make([]byte, len(LevelMagic))
+	if _, err := io.ReadFull(sr, head); err != nil {
+		return nil, fmt.Errorf("indexio: reading level magic: %w", clean(err))
+	}
+	if !bytes.Equal(head, []byte(LevelMagic)) {
+		return nil, fmt.Errorf("indexio: bad level magic %q, not a skinnymine level set", head)
+	}
+	ver, err := sr.uvarint("level version")
+	if err != nil {
+		return nil, err
+	}
+	if ver != levelVersion {
+		return nil, fmt.Errorf("indexio: level version %d, this build reads version %d", ver, levelVersion)
+	}
+	seqLen, err := sr.count("level sequence length")
+	if err != nil {
+		return nil, err
+	}
+	if seqLen > maxLevelLen {
+		return nil, fmt.Errorf("indexio: level sequence length %d exceeds %d", seqLen, maxLevelLen)
+	}
+	nPat, err := sr.count("level pattern count")
+	if err != nil {
+		return nil, err
+	}
+	if nPat > 0 && seqLen == 0 {
+		return nil, fmt.Errorf("indexio: level holds %d patterns of zero labels", nPat)
+	}
+	ps := make([]*core.PathPattern, 0, allocHint(nPat))
+	for pi := 0; pi < nPat; pi++ {
+		p := &core.PathPattern{Seq: make([]graph.Label, seqLen)}
+		for j := range p.Seq {
+			lab, err := sr.count("level pattern label")
+			if err != nil {
+				return nil, err
+			}
+			if lab >= numLabels {
+				return nil, fmt.Errorf("indexio: level pattern %d label %d outside table of %d", pi, lab, numLabels)
+			}
+			p.Seq[j] = graph.Label(lab)
+		}
+		if p.Support, err = sr.count("level pattern support"); err != nil {
+			return nil, err
+		}
+		nEmb, err := sr.count("level embedding count")
+		if err != nil {
+			return nil, err
+		}
+		p.Embs = make([]core.PathEmb, 0, allocHint(nEmb))
+		for ei := 0; ei < nEmb; ei++ {
+			gid, err := sr.count("level embedding graph ID")
+			if err != nil {
+				return nil, err
+			}
+			if gid >= numGraphs {
+				return nil, fmt.Errorf("indexio: level pattern %d embedding references graph %d of %d", pi, gid, numGraphs)
+			}
+			seq := make(graph.Path, seqLen)
+			for j := range seq {
+				v, err := sr.count("level embedding vertex")
+				if err != nil {
+					return nil, err
+				}
+				seq[j] = graph.V(v)
+			}
+			p.Embs = append(p.Embs, core.PathEmb{GID: int32(gid), Seq: seq})
+		}
+		ps = append(ps, p)
+	}
+	want := sr.crc.Sum32()
+	var tail [4]byte
+	if _, err := io.ReadFull(sr.r, tail[:]); err != nil {
+		return nil, fmt.Errorf("indexio: reading level checksum: %w", clean(err))
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != want {
+		return nil, fmt.Errorf("indexio: level checksum mismatch (stored %08x, computed %08x): stream is corrupted", got, want)
+	}
+	return ps, nil
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -28,9 +29,9 @@ func TestBatchDuplicatesMineOnce(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
 	var runs atomic.Int64
 	realMine := s.mineFn
-	s.mineFn = func(opt skinnymine.Options) (*skinnymine.Result, error) {
+	s.mineFn = func(ctx context.Context, opt skinnymine.Options) (*skinnymine.Result, error) {
 		runs.Add(1)
-		return realMine(opt)
+		return realMine(ctx, opt)
 	}
 
 	resp := postBatch(t, ts, `{"requests":[
@@ -87,9 +88,9 @@ func TestBatchSharesCacheWithMine(t *testing.T) {
 	}
 	var runs atomic.Int64
 	realMine := s.mineFn
-	s.mineFn = func(opt skinnymine.Options) (*skinnymine.Result, error) {
+	s.mineFn = func(ctx context.Context, opt skinnymine.Options) (*skinnymine.Result, error) {
 		runs.Add(1)
-		return realMine(opt)
+		return realMine(ctx, opt)
 	}
 
 	// Whitespace variants of one where-expression share a canonical key;

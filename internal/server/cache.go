@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -78,7 +79,7 @@ type flightGroup struct {
 
 type flightCall struct {
 	done    chan struct{}
-	waiters atomic.Int64 // callers parked on done; observed by tests
+	waiters atomic.Int64 // callers parked on done (canceled ones leave); observed by tests
 	body    []byte
 	err     error
 }
@@ -92,13 +93,25 @@ func newFlightGroup() *flightGroup {
 // deregistered and its waiters released, even when fn panics (waiters
 // then see an error while the panic propagates to the leader's
 // recovery handler).
-func (g *flightGroup) do(key string, fn func() ([]byte, error)) (body []byte, err error, shared bool) {
+//
+// ctx is the CALLER's context, not the leader's: a follower whose own
+// request dies (client disconnect, deadline) stops waiting immediately
+// and gets an admission-canceled error with shared=true — the leader's
+// run is untouched, and no goroutine or connection stays parked on work
+// its requester will never read. Before this select existed a follower
+// was blind to its own cancellation until the leader finished.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, err error, shared bool) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
 		c.waiters.Add(1)
-		<-c.done
-		return c.body, c.err, true
+		select {
+		case <-c.done:
+			return c.body, c.err, true
+		case <-ctx.Done():
+			c.waiters.Add(-1)
+			return nil, fmt.Errorf("%w: %v", errAdmissionCanceled, ctx.Err()), true
+		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	g.calls[key] = c

@@ -76,6 +76,15 @@ type BatchMetrics struct {
 }
 
 // MineMetrics is the /v1/mine section of the metrics document.
+//
+// Accounting: every tracked mining request lands in exactly one of
+// cache_hits (served from the LRU), cache_misses (became the leader of
+// a mining run) or coalesced (shared another request's in-flight run),
+// so cache_hit_rate = hits / (hits + misses + coalesced) — the
+// fraction of requests that did NOT lead a run themselves. Misses are
+// counted when a request becomes the leader, not when it merely misses
+// the LRU: coalesced followers miss the cache too, but charging them a
+// miss each would overstate misses by exactly the coalesced count.
 type MineMetrics struct {
 	CacheHits    int64   `json:"cache_hits"`
 	CacheMisses  int64   `json:"cache_misses"`
@@ -91,9 +100,10 @@ type MineMetrics struct {
 
 func (m *metrics) snapshot() MetricsSnapshot {
 	hits, misses := m.mine.cacheHits.Load(), m.mine.cacheMisses.Load()
+	coalesced := m.mine.coalesced.Load()
 	rate := 0.0
-	if hits+misses > 0 {
-		rate = float64(hits) / float64(hits+misses)
+	if denom := hits + misses + coalesced; denom > 0 {
+		rate = float64(hits) / float64(denom)
 	}
 	latCount := m.mine.latCount.Load()
 	avg := 0.0
@@ -118,7 +128,7 @@ func (m *metrics) snapshot() MetricsSnapshot {
 			CacheHits:    hits,
 			CacheMisses:  misses,
 			CacheHitRate: rate,
-			Coalesced:    m.mine.coalesced.Load(),
+			Coalesced:    coalesced,
 			Runs:         m.mine.runs.Load(),
 			Errors:       m.mine.errors.Load(),
 			InFlight:     m.mine.inFlight.Load(),

@@ -25,6 +25,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -62,6 +63,14 @@ type Config struct {
 	// MaxBatch caps how many requests one /v1/batch call may carry.
 	// 0 means 64; negative disables the endpoint (404).
 	MaxBatch int
+	// IndexConcurrency, when non-zero, sets the index's own worker pool
+	// (skinnymine.Index.SetConcurrency) — the budget backbones
+	// materialization uses; Mine requests carry their own. > 0 sets that
+	// many workers, < 0 sets one per available CPU, and 0 leaves the
+	// index exactly as the embedder configured it. (The server used to
+	// silently reset the caller-owned index to one-per-CPU; it no longer
+	// touches it unless asked.)
+	IndexConcurrency int
 }
 
 // Server serves mining requests over HTTP. Create one with New and
@@ -75,9 +84,11 @@ type Server struct {
 	flights  *flightGroup
 	metrics  *metrics
 
-	// mineFn runs one mining request; tests substitute it to observe
-	// coalescing and gate behavior deterministically.
-	mineFn func(skinnymine.Options) (*skinnymine.Result, error)
+	// mineFn runs one mining request under the leader request's context
+	// (a distributed index propagates it into worker RPCs); tests
+	// substitute it to observe coalescing and gate behavior
+	// deterministically.
+	mineFn func(context.Context, skinnymine.Options) (*skinnymine.Result, error)
 }
 
 // New returns a Server over the index.
@@ -97,9 +108,15 @@ func New(cfg Config) (*Server, error) {
 	case cfg.MaxBatch < 0:
 		cfg.MaxBatch = 0 // endpoint disabled
 	}
-	// Backbones materialization runs at the index's own concurrency
-	// (Mine requests carry their own); default it to the machine.
-	cfg.Index.SetConcurrency(0)
+	// The index's own concurrency (backbones materialization; Mine
+	// requests carry their own) belongs to the embedder: touch it only
+	// when explicitly asked.
+	switch {
+	case cfg.IndexConcurrency > 0:
+		cfg.Index.SetConcurrency(cfg.IndexConcurrency)
+	case cfg.IndexConcurrency < 0:
+		cfg.Index.SetConcurrency(0) // one worker per available CPU
+	}
 	s := &Server{
 		ix:       cfg.Index,
 		maxLen:   cfg.MaxLength,
@@ -107,7 +124,7 @@ func New(cfg Config) (*Server, error) {
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
 		flights:  newFlightGroup(),
 		metrics:  newMetrics(),
-		mineFn:   cfg.Index.Mine,
+		mineFn:   cfg.Index.MineContext,
 	}
 	switch {
 	case cfg.CacheSize == 0:
@@ -258,14 +275,16 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 
 // mineProduce returns the producer for one mining request: run the
 // request, record latency, serialize the wire body. Shared by /v1/mine
-// and /v1/batch so both feed the same /metrics mine section.
-func (s *Server) mineProduce(opt skinnymine.Options) func() ([]byte, error) {
-	return func() ([]byte, error) {
+// and /v1/batch so both feed the same /metrics mine section. The
+// context is the leader request's: its deadline and cancellation reach
+// a distributed index's worker RPCs.
+func (s *Server) mineProduce(opt skinnymine.Options) func(context.Context) ([]byte, error) {
+	return func(ctx context.Context) ([]byte, error) {
 		s.metrics.mine.inFlight.Add(1)
 		defer s.metrics.mine.inFlight.Add(-1)
 		s.metrics.mine.runs.Add(1)
 		t0 := time.Now()
-		res, err := s.mineFn(opt)
+		res, err := s.mineFn(ctx, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -280,7 +299,7 @@ func (s *Server) mineProduce(opt skinnymine.Options) func() ([]byte, error) {
 
 // serveCached runs the throughput guards around produce (execute) and
 // writes the outcome as an HTTP response.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, trackMine bool, produce func() ([]byte, error)) {
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, trackMine bool, produce func(context.Context) ([]byte, error)) {
 	body, source, err := s.execute(r, key, trackMine, produce)
 	if err != nil {
 		// Input was validated before produce, so a failed run is the
@@ -291,9 +310,13 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	writeBody(w, body, source)
 }
 
-// errStatus maps a failed run to its HTTP status.
+// errStatus maps a failed run to its HTTP status. Admission
+// cancellation and an unreachable shard worker are both 503: the server
+// is briefly unable to do the work, and retrying is safe — a
+// distributed mine that loses a worker fails completely (caches
+// untouched), never with a partial answer.
 func errStatus(err error) int {
-	if errors.Is(err, errAdmissionCanceled) {
+	if errors.Is(err, errAdmissionCanceled) || errors.Is(err, skinnymine.ErrUnavailable) {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
@@ -310,7 +333,7 @@ func errStatus(err error) int {
 // and every unique /v1/batch entry funnel through here, so batch and
 // single requests share one cache, one coalescing domain, and one
 // admission gate.
-func (s *Server) execute(r *http.Request, key string, trackMine bool, produce func() ([]byte, error)) (body []byte, source string, err error) {
+func (s *Server) execute(r *http.Request, key string, trackMine bool, produce func(context.Context) ([]byte, error)) (body []byte, source string, err error) {
 	if s.cache != nil {
 		if body, ok := s.cache.get(key); ok {
 			if trackMine {
@@ -318,19 +341,25 @@ func (s *Server) execute(r *http.Request, key string, trackMine bool, produce fu
 			}
 			return body, "hit", nil
 		}
-		if trackMine {
-			s.metrics.mine.cacheMisses.Add(1)
-		}
 	}
 
 	run := func() ([]byte, error) {
+		// A cache miss is counted HERE, by the one request that became
+		// the leader — not by every request that missed the LRU. A
+		// follower that coalesces onto an in-flight run counts only
+		// under coalesced; counting it as a miss too would overstate
+		// misses by exactly the coalesced count and understate the hit
+		// rate (see MineMetrics for the denominator semantics).
+		if s.cache != nil && trackMine {
+			s.metrics.mine.cacheMisses.Add(1)
+		}
 		select {
 		case s.sem <- struct{}{}:
 		case <-r.Context().Done():
 			return nil, fmt.Errorf("%w: %v", errAdmissionCanceled, r.Context().Err())
 		}
 		defer func() { <-s.sem }()
-		body, err := produce()
+		body, err := produce(r.Context())
 		if err != nil {
 			return nil, err
 		}
@@ -341,9 +370,11 @@ func (s *Server) execute(r *http.Request, key string, trackMine bool, produce fu
 	}
 	var shared bool
 	for {
-		body, err, shared = s.flights.do(key, run)
+		body, err, shared = s.flights.do(r.Context(), key, run)
 		// A shared admission-cancel error is the leader's client
 		// vanishing, not ours: retry with this request as the leader.
+		// (Our own cancellation fails the retry guard — r.Context() is
+		// already dead — so a canceled follower returns promptly.)
 		if shared && errors.Is(err, errAdmissionCanceled) && r.Context().Err() == nil {
 			continue
 		}
@@ -399,7 +430,7 @@ func (s *Server) handleBackbones(w http.ResponseWriter, r *http.Request) {
 	}
 	// A cache-miss backbones request materializes a Stage I level —
 	// real mining work — so it rides the same guards as /v1/mine.
-	s.serveCached(w, r, fmt.Sprintf("backbones l=%d", l), false, func() ([]byte, error) {
+	s.serveCached(w, r, fmt.Sprintf("backbones l=%d", l), false, func(context.Context) ([]byte, error) {
 		bbs, err := s.ix.MinimalBackbones(l)
 		if err != nil {
 			return nil, err
@@ -411,13 +442,17 @@ func (s *Server) handleBackbones(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// HealthResponse is the /healthz payload.
+// HealthResponse is the /healthz payload. Workers is present only for
+// a distributed index: each shard worker's last observed health. The
+// daemon itself stays "ok" with workers down — cached levels still
+// serve — and requests needing a dead shard fail with 503.
 type HealthResponse struct {
-	Status             string `json:"status"`
-	Graphs             int    `json:"graphs"`
-	Sigma              int    `json:"sigma"`
-	Shards             int    `json:"shards"`
-	MaterializedLevels []int  `json:"materialized_levels"`
+	Status             string                    `json:"status"`
+	Graphs             int                       `json:"graphs"`
+	Sigma              int                       `json:"sigma"`
+	Shards             int                       `json:"shards"`
+	MaterializedLevels []int                     `json:"materialized_levels"`
+	Workers            []skinnymine.WorkerStatus `json:"workers,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -432,5 +467,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Sigma:              s.ix.Sigma(),
 		Shards:             s.ix.Shards(),
 		MaterializedLevels: levels,
+		Workers:            s.ix.WorkerHealth(),
 	})
 }

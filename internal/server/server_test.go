@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -157,10 +158,10 @@ func TestMineCoalescesConcurrentIdentical(t *testing.T) {
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	realMine := s.mineFn
-	s.mineFn = func(opt skinnymine.Options) (*skinnymine.Result, error) {
+	s.mineFn = func(ctx context.Context, opt skinnymine.Options) (*skinnymine.Result, error) {
 		close(entered) // second entry would panic: exactly one run allowed
 		<-release
-		return realMine(opt)
+		return realMine(ctx, opt)
 	}
 
 	req := `{"length":4,"delta":1}`
@@ -377,12 +378,12 @@ func TestFlightGroupSurvivesPanic(t *testing.T) {
 				t.Fatal("panic should propagate to the leader")
 			}
 		}()
-		g.do("k", func() ([]byte, error) { panic("boom") })
+		g.do(context.Background(), "k", func() ([]byte, error) { panic("boom") })
 	}()
 	if len(g.calls) != 0 {
 		t.Fatal("panicked call left registered")
 	}
-	body, err, shared := g.do("k", func() ([]byte, error) { return []byte("ok"), nil })
+	body, err, shared := g.do(context.Background(), "k", func() ([]byte, error) { return []byte("ok"), nil })
 	if err != nil || shared || string(body) != "ok" {
 		t.Fatalf("key unusable after panic: body=%q err=%v shared=%v", body, err, shared)
 	}

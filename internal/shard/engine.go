@@ -27,6 +27,17 @@
 // DirectIndex — the shard level caches stay complete for every other
 // request.
 //
+// # Execution strategies
+//
+// Where a level's per-shard candidates come from is a second pluggable
+// seam: the Engine drives a stage1Runner, which is either the in-process
+// runner (one core.ShardStage1 per shard, the PR 5 engine) or the
+// remote coordinator runner (one HTTP worker per shard, remote.go).
+// Everything above the runner — the doubling schedule, the merge, the
+// caches, Stage II — is shared, so the distributed engine inherits the
+// byte-identical guarantee from the same code path the in-process one
+// is pinned by.
+//
 // # Concurrency and ownership
 //
 // An Engine is safe for concurrent Mine/MinimalPatterns callers: the
@@ -41,6 +52,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -51,14 +63,67 @@ import (
 	"skinnymine/internal/graph"
 )
 
+// stage1Runner produces one shard's Stage I candidates for one level
+// step. The Engine drives it with exactly one call per shard per step;
+// implementations are the in-process localRunner and the HTTP
+// remoteRunner (remote.go). Inputs and outputs use GLOBAL graph IDs —
+// a runner that ships work elsewhere owns the remapping. A runner
+// returning an error fails the whole materialization (the Engine never
+// serves a partial level).
+type stage1Runner interface {
+	// edges returns shard s's level-1 candidates.
+	edges(ctx context.Context, s, workers int) ([]*core.PathPattern, error)
+	// concat doubles shard s's projections of the merged level L into
+	// its length-2L candidates.
+	concat(ctx context.Context, s int, prev []*core.PathPattern, workers int) ([]*core.PathPattern, error)
+	// merge overlaps shard s's projections of the merged level m into
+	// its length-l candidates (m < l < 2m).
+	merge(ctx context.Context, s int, pool []*core.PathPattern, l, m, workers int) ([]*core.PathPattern, error)
+	// close releases runner resources (health probes, idle
+	// connections). The in-process runner has none.
+	close() error
+}
+
+// localRunner runs Stage I in-process: one core.ShardStage1 per shard
+// over the shared full graph slice.
+type localRunner struct {
+	stages []*core.ShardStage1
+}
+
+func newLocalRunner(graphs []*graph.Graph, assign [][]int32) (*localRunner, error) {
+	stages := make([]*core.ShardStage1, len(assign))
+	var err error
+	for s, gids := range assign {
+		if stages[s], err = core.NewShardStage1(graphs, gids); err != nil {
+			return nil, err
+		}
+	}
+	return &localRunner{stages: stages}, nil
+}
+
+func (r *localRunner) edges(_ context.Context, s, _ int) ([]*core.PathPattern, error) {
+	return r.stages[s].EdgeCandidates(), nil
+}
+
+func (r *localRunner) concat(_ context.Context, s int, prev []*core.PathPattern, workers int) ([]*core.PathPattern, error) {
+	return r.stages[s].ConcatCandidates(prev, workers), nil
+}
+
+func (r *localRunner) merge(_ context.Context, s int, pool []*core.PathPattern, l, m, workers int) ([]*core.PathPattern, error) {
+	return r.stages[s].MergeCandidates(pool, l, m, workers), nil
+}
+
+func (r *localRunner) close() error { return nil }
+
 // Engine is a sharded mining engine over one partitioned transaction
-// database: P per-shard Stage I runners, the merged global level cache,
-// and a DirectIndex the merged levels are preloaded into for Stage II.
+// database: a per-shard Stage I runner (in-process or remote), the
+// merged global level cache, and a DirectIndex the merged levels are
+// preloaded into for Stage II.
 type Engine struct {
 	graphs []*graph.Graph
 	sigma  int
 	assign [][]int32
-	stages []*core.ShardStage1
+	runner stage1Runner
 	ix     *core.DirectIndex
 	conc   int // MinimalPatterns worker budget; Mine uses the request's
 
@@ -79,17 +144,15 @@ func newEngine(graphs []*graph.Graph, sigma int, assign [][]int32) (*Engine, err
 	if err != nil {
 		return nil, err
 	}
-	stages := make([]*core.ShardStage1, len(assign))
-	for s, gids := range assign {
-		if stages[s], err = core.NewShardStage1(graphs, gids); err != nil {
-			return nil, err
-		}
+	runner, err := newLocalRunner(graphs, assign)
+	if err != nil {
+		return nil, err
 	}
 	return &Engine{
 		graphs: graphs,
 		sigma:  sigma,
 		assign: assign,
-		stages: stages,
+		runner: runner,
 		ix:     ix,
 		levels: make(map[int][]*core.PathPattern),
 		local:  make(map[int][][]*core.PathPattern),
@@ -120,6 +183,15 @@ func (e *Engine) Assignment() [][]int32 {
 // it before serving, not concurrently with requests.
 func (e *Engine) SetConcurrency(n int) { e.conc = n }
 
+// Concurrency reports the current MinimalPatterns worker budget, always
+// resolved to a positive count.
+func (e *Engine) Concurrency() int {
+	if e.conc <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.conc
+}
+
 // MaterializedLevels returns the path lengths whose merged global level
 // is cached, ascending.
 func (e *Engine) MaterializedLevels() []int {
@@ -141,6 +213,14 @@ func (e *Engine) MaterializedLevels() []int {
 // options; the sharded Stage I wall-clock is folded into
 // Stats.DiamMineTime.
 func (e *Engine) Mine(opt core.Options) (*core.Result, error) {
+	return e.MineCtx(context.Background(), opt)
+}
+
+// MineCtx is Mine with a caller-supplied context. The in-process engine
+// only consults it between shard steps; a remote engine additionally
+// propagates its deadline into every worker RPC, so a client that gives
+// up stops costing the workers anything.
+func (e *Engine) MineCtx(ctx context.Context, opt core.Options) (*core.Result, error) {
 	if opt.Support != e.sigma {
 		return nil, fmt.Errorf("core: index was built with support %d, request uses %d", e.sigma, opt.Support)
 	}
@@ -157,7 +237,7 @@ func (e *Engine) Mine(opt core.Options) (*core.Result, error) {
 			lengths = append(lengths, l)
 		}
 		t0 := time.Now()
-		if err := e.preloadLevels(lengths, opt.Concurrency); err != nil {
+		if err := e.preloadLevels(ctx, lengths, opt.Concurrency); err != nil {
 			return nil, err
 		}
 		shardTime = time.Since(t0)
@@ -173,7 +253,7 @@ func (e *Engine) Mine(opt core.Options) (*core.Result, error) {
 // MinimalPatterns returns the globally frequent paths of length l — the
 // merged Stage I level — materializing it shard-parallel on a miss.
 func (e *Engine) MinimalPatterns(l int) ([]*core.PathPattern, error) {
-	if err := e.preloadLevels([]int{l}, e.conc); err != nil {
+	if err := e.preloadLevels(context.Background(), []int{l}, e.conc); err != nil {
 		return nil, err
 	}
 	e.mu.RLock()
@@ -181,12 +261,18 @@ func (e *Engine) MinimalPatterns(l int) ([]*core.PathPattern, error) {
 	return e.levels[l], nil
 }
 
+// Close releases the runner's resources: a no-op for the in-process
+// engine, probe-and-connection shutdown for a remote one. The engine
+// itself stays usable for cached levels but must not materialize new
+// ones afterwards.
+func (e *Engine) Close() error { return e.runner.close() }
+
 // preloadLevels materializes any missing lengths shard-parallel and
 // installs the merged levels into the inner DirectIndex, so the Stage
 // II entry point only ever sees cache hits (a miss there would fall
 // back to unsharded materialization — correct, but never intended).
-func (e *Engine) preloadLevels(lengths []int, workers int) error {
-	if err := e.ensureLevels(lengths, workers); err != nil {
+func (e *Engine) preloadLevels(ctx context.Context, lengths []int, workers int) error {
+	if err := e.ensureLevels(ctx, lengths, workers); err != nil {
 		return err
 	}
 	e.mu.RLock()
@@ -201,7 +287,7 @@ func (e *Engine) preloadLevels(lengths []int, workers int) error {
 
 // ensureLevels materializes every missing requested length under the
 // write lock.
-func (e *Engine) ensureLevels(lengths []int, workers int) error {
+func (e *Engine) ensureLevels(ctx context.Context, lengths []int, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -220,7 +306,7 @@ func (e *Engine) ensureLevels(lengths []int, workers int) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, l := range lengths {
-		if err := e.materialize(l, workers); err != nil {
+		if err := e.materialize(ctx, l, workers); err != nil {
 			return err
 		}
 	}
@@ -230,9 +316,11 @@ func (e *Engine) ensureLevels(lengths []int, workers int) error {
 // materialize computes the merged level for length l, following the
 // exact doubling schedule of DiamMiner.mine — powers of two up to the
 // largest k <= l, then one overlap merge when l is not itself a power —
-// with each step's candidate generation fanned across the shards.
-// Callers hold e.mu.
-func (e *Engine) materialize(l, workers int) error {
+// with each step's candidate generation fanned across the shards. A
+// failed step (a remote worker unreachable past its retry budget)
+// leaves the caches exactly as they were: levels are stored only after
+// every shard's part arrived. Callers hold e.mu.
+func (e *Engine) materialize(ctx context.Context, l, workers int) error {
 	if l < 1 {
 		return fmt.Errorf("shard: path length must be >= 1, got %d", l)
 	}
@@ -248,23 +336,30 @@ func (e *Engine) materialize(l, workers int) error {
 			continue
 		}
 		var parts [][]*core.PathPattern
+		var err error
 		if p == 1 {
-			parts = e.runShards(workers, func(s, w int) []*core.PathPattern {
-				return e.stages[s].EdgeCandidates()
+			parts, err = e.runShards(ctx, workers, func(ctx context.Context, s, w int) ([]*core.PathPattern, error) {
+				return e.runner.edges(ctx, s, w)
 			})
 		} else {
 			prev := e.local[p/2]
-			parts = e.runShards(workers, func(s, w int) []*core.PathPattern {
-				return e.stages[s].ConcatCandidates(prev[s], w)
+			parts, err = e.runShards(ctx, workers, func(ctx context.Context, s, w int) ([]*core.PathPattern, error) {
+				return e.runner.concat(ctx, s, prev[s], w)
 			})
+		}
+		if err != nil {
+			return err
 		}
 		e.store(p, parts)
 	}
 	if l != k {
 		pool := e.local[k]
-		parts := e.runShards(workers, func(s, w int) []*core.PathPattern {
-			return e.stages[s].MergeCandidates(pool[s], l, k, w)
+		parts, err := e.runShards(ctx, workers, func(ctx context.Context, s, w int) ([]*core.PathPattern, error) {
+			return e.runner.merge(ctx, s, pool[s], l, k, w)
 		})
+		if err != nil {
+			return err
+		}
 		e.store(l, parts)
 	}
 	return nil
@@ -276,19 +371,22 @@ func (e *Engine) materialize(l, workers int) error {
 // public contract), and when the budget exceeds the shard count the
 // surplus fans out inside each shard's joins. parts[s] is shard s's
 // output; the indexed writes keep the result independent of goroutine
-// scheduling.
-func (e *Engine) runShards(workers int, run func(s, w int) []*core.PathPattern) [][]*core.PathPattern {
+// scheduling, and the lowest failing shard's error is reported so one
+// outage yields one deterministic message.
+func (e *Engine) runShards(ctx context.Context, workers int, run func(ctx context.Context, s, w int) ([]*core.PathPattern, error)) ([][]*core.PathPattern, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	per, extra := workers/len(e.stages), workers%len(e.stages)
+	n := len(e.assign)
+	per, extra := workers/n, workers%n
 	if per < 1 {
 		per, extra = 1, 0
 	}
-	parts := make([][]*core.PathPattern, len(e.stages))
+	parts := make([][]*core.PathPattern, n)
+	errs := make([]error, n)
 	inFlight := make(chan struct{}, workers)
 	var wg sync.WaitGroup
-	for s := range e.stages {
+	for s := 0; s < n; s++ {
 		w := per
 		if s < extra { // spread the budget remainder over the first shards
 			w++
@@ -298,11 +396,16 @@ func (e *Engine) runShards(workers int, run func(s, w int) []*core.PathPattern) 
 		go func(s, w int) {
 			defer wg.Done()
 			defer func() { <-inFlight }()
-			parts[s] = run(s, w)
+			parts[s], errs[s] = run(ctx, s, w)
 		}(s, w)
 	}
 	wg.Wait()
-	return parts
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return parts, nil
 }
 
 // store merges one level's per-shard candidates and caches both the

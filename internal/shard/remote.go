@@ -1,0 +1,431 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"skinnymine/internal/core"
+	"skinnymine/internal/indexio"
+)
+
+// ErrUnavailable reports that a shard worker stayed unreachable past
+// the coordinator's full retry budget. The serving layer maps it to
+// HTTP 503: a distributed engine answers completely or not at all —
+// never with a partial level — so the failure is safe to surface and
+// retry from the outside.
+var ErrUnavailable = errors.New("shard: worker unavailable")
+
+// RemoteConfig configures the coordinator side of a distributed
+// engine: one worker address per shard, positional (Workers[i] serves
+// shard i's snapshot file; every request is pinned to the manifest's
+// shard CRC, so miswiring fails with a permanent error, not wrong
+// results).
+type RemoteConfig struct {
+	// Workers holds one "host:port" (or full "http://host:port") per
+	// shard.
+	Workers []string
+	// Timeout bounds each RPC attempt. <= 0 means 30s. The caller's
+	// context deadline additionally applies — whichever is sooner.
+	Timeout time.Duration
+	// Retries is the number of re-attempts after the first failed RPC
+	// (retryable failures only: connection errors, timeouts, 5xx).
+	// < 0 means 2.
+	Retries int
+	// RetryBackoff is the wait before the first retry; it doubles per
+	// retry. <= 0 means 100ms.
+	RetryBackoff time.Duration
+	// HedgeAfter launches a duplicate RPC if an attempt has not
+	// answered within this long, racing the straggler against a fresh
+	// try; first answer wins. <= 0 disables hedging.
+	HedgeAfter time.Duration
+	// ProbeInterval is the period of the background health probe per
+	// worker (GET /shard/v1/info). <= 0 disables probing; health then
+	// only reflects the outcome of real candidate RPCs.
+	ProbeInterval time.Duration
+}
+
+func (cfg RemoteConfig) withDefaults() RemoteConfig {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 2
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	return cfg
+}
+
+// WorkerStatus is one worker's last observed health, as reported by
+// Engine.WorkerHealth.
+type WorkerStatus struct {
+	Addr    string `json:"addr"`
+	Shard   int    `json:"shard"`
+	Healthy bool   `json:"healthy"`
+	Err     string `json:"err,omitempty"`
+}
+
+// RestoreRemote rebuilds an engine from a loaded sharded snapshot —
+// exactly like Restore, including every cached merged level — but
+// materializes NEW levels by scatter/gathering candidate generation
+// across the HTTP workers in cfg instead of running it in-process.
+// crcs[i] is shard i's snapshot-file checksum from the manifest (the
+// identity every RPC is pinned to) and numLabels the label-vocabulary
+// size (bounds wire decoding).
+//
+// Workers are not contacted here: a coordinator starts (and serves
+// every already-cached level) with the whole fleet down. The first
+// materialization that needs a dead shard fails with ErrUnavailable
+// after the retry budget, leaving the caches untouched.
+func RestoreRemote(states []core.IndexState, assign [][]int32, sigma int, crcs []uint32, numLabels int, cfg RemoteConfig) (*Engine, error) {
+	if len(cfg.Workers) != len(assign) {
+		return nil, fmt.Errorf("shard: %d workers for %d shards", len(cfg.Workers), len(assign))
+	}
+	if len(crcs) != len(assign) {
+		return nil, fmt.Errorf("shard: %d shard checksums for %d shards", len(crcs), len(assign))
+	}
+	e, err := Restore(states, assign, sigma)
+	if err != nil {
+		return nil, err
+	}
+	e.runner = newRemoteRunner(assign, crcs, numLabels, cfg.withDefaults())
+	return e, nil
+}
+
+// WorkerHealth returns each worker's last observed health, ordered by
+// shard, or nil for an in-process engine. With probing enabled the
+// status self-refreshes; otherwise it reflects construction state and
+// real RPC outcomes.
+func (e *Engine) WorkerHealth() []WorkerStatus {
+	type healther interface{ health() []WorkerStatus }
+	if h, ok := e.runner.(healther); ok {
+		return h.health()
+	}
+	return nil
+}
+
+// remoteRunner implements stage1Runner over one HTTP worker per shard.
+// The runner owns the global↔shard-local graph-ID remap at the wire
+// boundary: assignment GIDs ascend within each shard, so the remap is
+// monotone and embedding order — which the byte-identical merge
+// depends on — survives the round trip untouched.
+type remoteRunner struct {
+	cfg       RemoteConfig
+	client    *http.Client
+	numLabels int
+	workers   []*remoteWorker
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// remoteWorker is the per-shard client state: address, pinned CRC, the
+// GID remap tables, and the advisory health flag.
+type remoteWorker struct {
+	addr     string
+	base     string  // normalized http://host:port
+	crc      string  // 8 hex digits, pinned in every request
+	toGlobal []int32 // shard-local index -> global GID
+	toLocal  map[int32]int32
+
+	mu      sync.Mutex
+	healthy bool
+	lastErr string
+}
+
+func newRemoteRunner(assign [][]int32, crcs []uint32, numLabels int, cfg RemoteConfig) *remoteRunner {
+	r := &remoteRunner{
+		cfg: cfg,
+		// One shared transport: keep-alive connections across levels
+		// and retries. Per-attempt deadlines come from the request
+		// contexts, not Client.Timeout, so hedges can outlive the
+		// attempt that spawned them.
+		client:  &http.Client{},
+		workers: make([]*remoteWorker, len(assign)),
+		stop:    make(chan struct{}),
+	}
+	r.numLabels = numLabels
+	for s, gids := range assign {
+		base := cfg.Workers[s]
+		if !hasScheme(base) {
+			base = "http://" + base
+		}
+		w := &remoteWorker{
+			addr:     cfg.Workers[s],
+			base:     base,
+			crc:      fmt.Sprintf("%08x", crcs[s]),
+			toGlobal: gids,
+			toLocal:  make(map[int32]int32, len(gids)),
+		}
+		for i, gid := range gids {
+			w.toLocal[gid] = int32(i)
+		}
+		r.workers[s] = w
+	}
+	if cfg.ProbeInterval > 0 {
+		for s := range r.workers {
+			r.wg.Add(1)
+			go r.probe(s)
+		}
+	}
+	return r
+}
+
+func hasScheme(addr string) bool {
+	u, err := url.Parse(addr)
+	return err == nil && u.Scheme != ""
+}
+
+// probe polls one worker's info endpoint on the configured period,
+// keeping the advisory health flag fresh between real RPCs.
+func (r *remoteRunner) probe(s int) {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		r.probeOnce(s)
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (r *remoteRunner) probeOnce(s int) {
+	w := r.workers[s]
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+WorkerInfoPath, nil)
+	if err != nil {
+		w.setHealth(false, err.Error())
+		return
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		w.setHealth(false, err.Error())
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		w.setHealth(false, fmt.Sprintf("info probe: HTTP %d", resp.StatusCode))
+		return
+	}
+	w.setHealth(true, "")
+}
+
+func (w *remoteWorker) setHealth(ok bool, msg string) {
+	w.mu.Lock()
+	w.healthy, w.lastErr = ok, msg
+	w.mu.Unlock()
+}
+
+func (r *remoteRunner) health() []WorkerStatus {
+	out := make([]WorkerStatus, len(r.workers))
+	for s, w := range r.workers {
+		w.mu.Lock()
+		out[s] = WorkerStatus{Addr: w.addr, Shard: s, Healthy: w.healthy, Err: w.lastErr}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+func (r *remoteRunner) close() error {
+	close(r.stop)
+	r.wg.Wait()
+	r.client.CloseIdleConnections()
+	return nil
+}
+
+func (r *remoteRunner) edges(ctx context.Context, s, workers int) ([]*core.PathPattern, error) {
+	return r.call(ctx, s, "edges", 0, 0, workers, nil)
+}
+
+func (r *remoteRunner) concat(ctx context.Context, s int, prev []*core.PathPattern, workers int) ([]*core.PathPattern, error) {
+	return r.call(ctx, s, "concat", 0, 0, workers, prev)
+}
+
+func (r *remoteRunner) merge(ctx context.Context, s int, pool []*core.PathPattern, l, m, workers int) ([]*core.PathPattern, error) {
+	return r.call(ctx, s, "merge", l, m, workers, pool)
+}
+
+// call runs one candidate op against shard s's worker with the full
+// reliability stack: per-attempt timeout, bounded retries with
+// exponential backoff, and straggler hedging. The request body is
+// encoded once (with GIDs remapped global→local) and reused across
+// attempts; the reply is decoded and remapped local→global.
+func (r *remoteRunner) call(ctx context.Context, s int, op string, l, m, workers int, in []*core.PathPattern) ([]*core.PathPattern, error) {
+	w := r.workers[s]
+	var body []byte
+	if in != nil {
+		var buf bytes.Buffer
+		if err := indexio.SaveLevel(&buf, w.project(in)); err != nil {
+			return nil, fmt.Errorf("shard: encoding level for shard %d: %w", s, err)
+		}
+		body = buf.Bytes()
+	}
+	u := w.base + WorkerCandidatesPath + "?op=" + op + "&workers=" + strconv.Itoa(workers)
+	if op == "merge" {
+		u += "&l=" + strconv.Itoa(l) + "&m=" + strconv.Itoa(m)
+	}
+
+	var lastErr error
+	backoff := r.cfg.RetryBackoff
+	for attempt := 0; attempt <= r.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		ps, err := r.attempt(ctx, w, u, body)
+		if err == nil {
+			w.setHealth(true, "")
+			return ps, nil
+		}
+		if ctx.Err() != nil {
+			// The caller gave up (disconnect or deadline): report that,
+			// not worker unavailability.
+			return nil, ctx.Err()
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			w.setHealth(false, pe.Error())
+			return nil, fmt.Errorf("shard %d (%s): %w", s, w.addr, err)
+		}
+		lastErr = err
+		w.setHealth(false, err.Error())
+	}
+	return nil, fmt.Errorf("%w: shard %d (%s) after %d attempts: %v", ErrUnavailable, s, w.addr, r.cfg.Retries+1, lastErr)
+}
+
+// attempt performs one logical try: a single RPC, plus — when hedging
+// is enabled and the primary has not answered within HedgeAfter — one
+// duplicate racing it. The first outcome wins; the loser's context is
+// canceled so the straggler stops costing the worker anything.
+func (r *remoteRunner) attempt(ctx context.Context, w *remoteWorker, u string, body []byte) ([]*core.PathPattern, error) {
+	actx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+	defer cancel()
+	if r.cfg.HedgeAfter <= 0 {
+		return r.rpc(actx, w, u, body)
+	}
+	type outcome struct {
+		ps  []*core.PathPattern
+		err error
+	}
+	results := make(chan outcome, 2)
+	launch := func() {
+		ps, err := r.rpc(actx, w, u, body)
+		results <- outcome{ps, err}
+	}
+	go launch()
+	hedge := time.NewTimer(r.cfg.HedgeAfter)
+	defer hedge.Stop()
+	pending := 1
+	hedged := false
+	var firstErr error
+	for pending > 0 {
+		select {
+		case <-hedge.C:
+			if !hedged {
+				hedged = true
+				pending++
+				go launch()
+			}
+		case o := <-results:
+			pending--
+			if o.err == nil {
+				return o.ps, nil // loser is abandoned; cancel() reaps it
+			}
+			var pe *permanentError
+			if errors.As(o.err, &pe) {
+				return nil, o.err
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if !hedged && pending == 0 {
+				// Primary failed fast, before the hedge timer: fail the
+				// attempt rather than wait out the timer.
+				return nil, firstErr
+			}
+		}
+	}
+	return nil, firstErr
+}
+
+// permanentError marks worker replies retrying cannot fix: the request
+// itself is wrong (400) or the worker serves a different shard (409).
+type permanentError struct{ msg string }
+
+func (e *permanentError) Error() string { return e.msg }
+
+// rpc performs exactly one HTTP exchange and decodes the reply.
+func (r *remoteRunner) rpc(ctx context.Context, w *remoteWorker, u string, body []byte) ([]*core.PathPattern, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(ShardCRCHeader, w.crc)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		err := fmt.Errorf("worker answered HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+			return nil, &permanentError{msg: err.Error()}
+		}
+		return nil, err
+	}
+	ps, err := indexio.LoadLevel(resp.Body, r.numLabels, len(w.toGlobal))
+	if err != nil {
+		return nil, err
+	}
+	// Freshly decoded: safe to remap in place.
+	for _, p := range ps {
+		for i := range p.Embs {
+			p.Embs[i].GID = w.toGlobal[p.Embs[i].GID]
+		}
+	}
+	return ps, nil
+}
+
+// project copies a level's patterns with GIDs remapped global→local
+// for the wire. The inputs are shared cache data (the engine's
+// per-shard projections) and must not be mutated; embedding vertex
+// paths are shared unchanged.
+func (w *remoteWorker) project(ps []*core.PathPattern) []*core.PathPattern {
+	out := make([]*core.PathPattern, len(ps))
+	for i, p := range ps {
+		embs := make([]core.PathEmb, len(p.Embs))
+		for j, e := range p.Embs {
+			embs[j] = core.PathEmb{GID: w.toLocal[e.GID], Seq: e.Seq}
+		}
+		out[i] = &core.PathPattern{Seq: p.Seq, Embs: embs, Support: p.Support}
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -270,7 +271,7 @@ func TestRunShardsHonorsWorkerBudget(t *testing.T) {
 	}
 	for _, workers := range []int{1, 3} {
 		var inFlight, peak atomic.Int64
-		eng.runShards(workers, func(s, w int) []*core.PathPattern {
+		eng.runShards(context.Background(), workers, func(_ context.Context, s, w int) ([]*core.PathPattern, error) {
 			cur := inFlight.Add(1)
 			defer inFlight.Add(-1)
 			for {
@@ -280,7 +281,7 @@ func TestRunShardsHonorsWorkerBudget(t *testing.T) {
 				}
 			}
 			time.Sleep(time.Millisecond)
-			return nil
+			return nil, nil
 		})
 		if peak.Load() > int64(workers) {
 			t.Errorf("workers=%d: %d shards ran concurrently", workers, peak.Load())

@@ -1,0 +1,216 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"skinnymine/internal/core"
+	"skinnymine/internal/graph"
+	"skinnymine/internal/indexio"
+)
+
+// Worker HTTP protocol, served by one process per shard file:
+//
+//	GET  /shard/v1/info        identity probe: graph count, σ, shard CRC
+//	POST /shard/v1/candidates  one Stage I op; query selects it:
+//	      op=edges                      level-1 candidates (no body)
+//	      op=concat                     double the posted level (body)
+//	      op=merge&l=L&m=M              overlap the posted level (body)
+//	      workers=N                     join fan-out inside the shard
+//
+// Candidate sets travel both ways as indexio level-set streams
+// (LevelMagic) with SHARD-LOCAL graph IDs — the coordinator owns the
+// global↔local remap, which preserves embedding order because each
+// shard's global IDs ascend. Every candidate request must carry the
+// coordinator's idea of this worker's shard file CRC in the
+// ShardCRCHeader; a mismatch is answered 409 so a miswired fleet fails
+// loudly and permanently instead of mining garbage.
+const (
+	WorkerInfoPath       = "/shard/v1/info"
+	WorkerCandidatesPath = "/shard/v1/candidates"
+
+	// ShardCRCHeader carries the CRC-32C (Castagnoli, 8 lowercase hex
+	// digits) of the shard snapshot file the coordinator believes this
+	// worker serves — the same checksum the manifest records.
+	ShardCRCHeader = "X-Skinnymine-Shard-Crc"
+)
+
+// Worker serves Stage I candidate generation for one shard's graphs
+// over HTTP. It is stateless across requests: each candidate request
+// builds a fresh core.ShardStage1 (cheap — no precomputation), so
+// concurrent requests, including a coordinator's hedged duplicates,
+// never share join scratch state.
+type Worker struct {
+	graphs    []*graph.Graph
+	gids      []int32 // 0..len(graphs)-1: the worker IS its whole shard
+	numLabels int
+	sigma     int
+	crc       uint32
+	mux       *http.ServeMux
+}
+
+// WorkerInfo is the /shard/v1/info response body.
+type WorkerInfo struct {
+	Status string `json:"status"`
+	Graphs int    `json:"graphs"`
+	Sigma  int    `json:"sigma"`
+	CRC    string `json:"crc"` // 8 lowercase hex digits, CRC-32C
+}
+
+// NewWorker returns a worker serving the given shard content. graphs
+// are the shard's graphs in shard-local order, numLabels the size of
+// the snapshot's label vocabulary, sigma the index threshold (reported
+// by the info probe; candidate generation itself runs at threshold 1,
+// like every shard), and crc the CRC-32C of the shard snapshot file.
+func NewWorker(graphs []*graph.Graph, numLabels, sigma int, crc uint32) (*Worker, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("shard: refusing to serve a worker with no graphs")
+	}
+	w := &Worker{
+		graphs:    graphs,
+		gids:      make([]int32, len(graphs)),
+		numLabels: numLabels,
+		sigma:     sigma,
+		crc:       crc,
+		mux:       http.NewServeMux(),
+	}
+	for i := range w.gids {
+		w.gids[i] = int32(i)
+	}
+	w.mux.HandleFunc(WorkerInfoPath, w.handleInfo)
+	w.mux.HandleFunc(WorkerCandidatesPath, w.handleCandidates)
+	w.mux.HandleFunc("/healthz", w.handleInfo)
+	return w, nil
+}
+
+// CRC returns the shard file checksum the worker pins requests to.
+func (w *Worker) CRC() uint32 { return w.crc }
+
+// NumGraphs returns the shard's graph count.
+func (w *Worker) NumGraphs() int { return len(w.graphs) }
+
+// Sigma returns the threshold the shard snapshot was built with.
+func (w *Worker) Sigma() int { return w.sigma }
+
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	w.mux.ServeHTTP(rw, r)
+}
+
+func (w *Worker) handleInfo(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(WorkerInfo{
+		Status: "ok",
+		Graphs: len(w.graphs),
+		Sigma:  w.sigma,
+		CRC:    fmt.Sprintf("%08x", w.crc),
+	})
+}
+
+func (w *Worker) handleCandidates(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "candidates requests are POST", http.StatusMethodNotAllowed)
+		return
+	}
+	if got := r.Header.Get(ShardCRCHeader); got != fmt.Sprintf("%08x", w.crc) {
+		// Permanent: the coordinator is talking to the wrong shard (or a
+		// stale generation). Retrying cannot help; say so with a 409.
+		http.Error(rw, fmt.Sprintf("shard CRC mismatch: this worker serves %08x, request pins %q", w.crc, got), http.StatusConflict)
+		return
+	}
+	q := r.URL.Query()
+	workers, err := queryInt(q.Get("workers"), 1)
+	if err != nil {
+		http.Error(rw, "bad workers parameter: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := core.NewShardStage1(w.graphs, w.gids)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var out []*core.PathPattern
+	switch op := q.Get("op"); op {
+	case "edges":
+		out = st.EdgeCandidates()
+	case "concat":
+		prev, err := w.readLevel(r)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out = st.ConcatCandidates(prev, workers)
+	case "merge":
+		l, err := queryInt(q.Get("l"), 0)
+		if err != nil {
+			http.Error(rw, "bad l parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		m, err := queryInt(q.Get("m"), 0)
+		if err != nil {
+			http.Error(rw, "bad m parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if m < 1 || l <= m || l >= 2*m {
+			http.Error(rw, fmt.Sprintf("merge requires m < l < 2m, got l=%d m=%d", l, m), http.StatusBadRequest)
+			return
+		}
+		pool, err := w.readLevel(r)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out = st.MergeCandidates(pool, l, m, workers)
+	default:
+		http.Error(rw, fmt.Sprintf("unknown op %q", op), http.StatusBadRequest)
+		return
+	}
+	var buf bytes.Buffer
+	if err := indexio.SaveLevel(&buf, out); err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	rw.Write(buf.Bytes())
+}
+
+// readLevel decodes the posted level set and range-checks every
+// embedding vertex against its graph — decoded patterns feed straight
+// into join scratch arrays, so a bad vertex must be a 400, never a
+// panic (the same guarantee Restore gives loaded projections).
+func (w *Worker) readLevel(r *http.Request) ([]*core.PathPattern, error) {
+	ps, err := indexio.LoadLevel(r.Body, w.numLabels, len(w.graphs))
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range ps {
+		for _, e := range p.Embs {
+			g := w.graphs[e.GID]
+			for _, v := range e.Seq {
+				if int(v) < 0 || int(v) >= g.N() {
+					return nil, fmt.Errorf("shard: pattern %d embedding vertex %d out of range for graph %d", pi, v, e.GID)
+				}
+			}
+		}
+	}
+	return ps, nil
+}
+
+// queryInt parses a positive-int query parameter, defaulting when
+// absent.
+func queryInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative value %d", n)
+	}
+	return n, nil
+}

@@ -6,16 +6,27 @@
 # /v1/batch deduplicates (N duplicates -> one mining run, verified via
 # the /metrics cache counters), that a sharded snapshot serves results
 # byte-identical to the unsharded CLI, and that /v1/backbones and
-# /healthz answer. Requires curl and jq.
+# /healthz answer. The distributed section then serves a sharded
+# snapshot through two `skinnymined -worker` processes plus a
+# coordinator, diffs the output byte-for-byte against the in-process
+# CLI, kills a worker (expecting cached levels to keep serving and
+# deeper requests to fail with a clean 503), and restarts it
+# (expecting full recovery). Requires curl and jq.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
 daemon_pid=""
 daemon2_pid=""
+coord_pid=""
+worker0_pid=""
+worker1_pid=""
 cleanup() {
   [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
   [ -n "$daemon2_pid" ] && kill "$daemon2_pid" 2>/dev/null || true
+  [ -n "$coord_pid" ] && kill "$coord_pid" 2>/dev/null || true
+  [ -n "$worker0_pid" ] && kill "$worker0_pid" 2>/dev/null || true
+  [ -n "$worker1_pid" ] && kill "$worker1_pid" 2>/dev/null || true
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -194,7 +205,91 @@ fi
 grep -qi "checksum\|corrupt\|inconsistent" "$workdir/corrupt.log" \
   || { echo "FAIL: corruption error not reported: $(cat "$workdir/corrupt.log")"; exit 1; }
 
+echo "== distributed: two workers + coordinator match the in-process CLI"
+# Fresh 2-shard snapshot with only levels {1,2} materialized, so every
+# deeper level must flow through the worker fleet.
+"$workdir/bin/skinnymine" -input "$workdir/graphdb.txt" -support 2 -length 2 -delta 1 \
+  -shards 2 -json -snapshot "$workdir/dist.idx" > /dev/null
+wport0=$((20000 + RANDOM % 20000)); wport1=$((wport0 + 1)); cport=$((wport0 + 2))
+shard0=$(ls "$workdir"/dist.idx.shard0-*)
+shard1=$(ls "$workdir"/dist.idx.shard1-*)
+"$workdir/bin/skinnymined" -worker "$shard0" -addr "127.0.0.1:$wport0" \
+  > "$workdir/worker0.log" 2>&1 &
+worker0_pid=$!
+"$workdir/bin/skinnymined" -worker "$shard1" -addr "127.0.0.1:$wport1" \
+  > "$workdir/worker1.log" 2>&1 &
+worker1_pid=$!
+"$workdir/bin/skinnymined" -index "$workdir/dist.idx" -addr "127.0.0.1:$cport" \
+  -workers "127.0.0.1:$wport0,127.0.0.1:$wport1" \
+  -worker-retries 1 -worker-backoff 50ms -worker-probe 100ms \
+  > "$workdir/coord.log" 2>&1 &
+coord_pid=$!
+basec="http://127.0.0.1:$cport"
+for i in $(seq 1 50); do
+  if curl -sf "$basec/healthz" > "$workdir/healthc.json" 2>/dev/null \
+     && jq -e '[.workers[].healthy] | all' "$workdir/healthc.json" > /dev/null 2>&1; then
+    break
+  fi
+  kill -0 "$coord_pid" 2>/dev/null || { echo "FAIL: coordinator died"; cat "$workdir/coord.log"; exit 1; }
+  sleep 0.2
+done
+jq -e '.shards == 2 and (.workers | length) == 2 and ([.workers[].healthy] | all)' \
+  "$workdir/healthc.json" > /dev/null \
+  || { echo "FAIL: coordinator healthz says $(cat "$workdir/healthc.json")"; exit 1; }
+curl -sf "$basec/v1/mine" -d '{"length":4,"delta":1}' > "$workdir/dist-served.json"
+diff <(jq "$norm" "$workdir/db-flat.json") <(jq "$norm" "$workdir/dist-served.json") \
+  || { echo "FAIL: distributed result differs from the unsharded CLI's"; exit 1; }
+
+echo "== killed worker: cached levels keep serving, deeper requests 503 cleanly"
+kill -9 "$worker1_pid" 2>/dev/null
+wait "$worker1_pid" 2>/dev/null || true
+worker1_pid=""
+# Levels baked into the snapshot never touch the fleet.
+curl -sf "$basec/v1/mine" -d '{"length":2,"delta":1}' > /dev/null \
+  || { echo "FAIL: snapshot-cached levels stopped serving with a worker down"; exit 1; }
+# Level 3 is not materialized yet, so this must reach the dead shard —
+# and come back as a clean 503 once the retry budget is spent.
+code=$(curl -s -o "$workdir/unavail.json" -w '%{http_code}' "$basec/v1/mine" -d '{"length":3,"delta":1}')
+[ "$code" = 503 ] \
+  || { echo "FAIL: dead worker produced HTTP $code, want 503: $(cat "$workdir/unavail.json")"; exit 1; }
+grep -qi "unavailable" "$workdir/unavail.json" \
+  || { echo "FAIL: 503 body does not name the condition: $(cat "$workdir/unavail.json")"; exit 1; }
+for i in $(seq 1 50); do
+  if curl -sf "$basec/healthz" 2>/dev/null | jq -e '.workers[1].healthy == false' > /dev/null 2>&1; then
+    break
+  fi
+  sleep 0.2
+done
+curl -sf "$basec/healthz" | jq -e '.workers[1].healthy == false' > /dev/null \
+  || { echo "FAIL: dead worker still reported healthy"; exit 1; }
+
+echo "== restarted worker: fleet recovers, results still byte-identical"
+"$workdir/bin/skinnymined" -worker "$shard1" -addr "127.0.0.1:$wport1" \
+  > "$workdir/worker1b.log" 2>&1 &
+worker1_pid=$!
+for i in $(seq 1 50); do
+  if curl -sf "$basec/healthz" 2>/dev/null | jq -e '[.workers[].healthy] | all' > /dev/null 2>&1; then
+    break
+  fi
+  sleep 0.2
+done
+"$workdir/bin/skinnymine" -input "$workdir/graphdb.txt" -support 2 -length 3 -delta 1 \
+  -json > "$workdir/db-l3.json"
+curl -sf "$basec/v1/mine" -d '{"length":3,"delta":1}' > "$workdir/dist-l3.json" \
+  || { echo "FAIL: request still failing after worker recovery"; exit 1; }
+diff <(jq "$norm" "$workdir/db-l3.json") <(jq "$norm" "$workdir/dist-l3.json") \
+  || { echo "FAIL: post-recovery distributed result differs from the CLI's"; exit 1; }
+
 echo "== graceful shutdown"
+kill -TERM "$coord_pid"
+wait "$coord_pid" || { echo "FAIL: coordinator exited non-zero"; exit 1; }
+coord_pid=""
+kill -TERM "$worker0_pid"
+wait "$worker0_pid" || { echo "FAIL: worker exited non-zero"; exit 1; }
+worker0_pid=""
+kill -TERM "$worker1_pid"
+wait "$worker1_pid" || { echo "FAIL: restarted worker exited non-zero"; exit 1; }
+worker1_pid=""
 kill -TERM "$daemon2_pid"
 wait "$daemon2_pid" || { echo "FAIL: sharded daemon exited non-zero"; exit 1; }
 daemon2_pid=""

@@ -529,6 +529,7 @@ type indexBackend interface {
 	Sigma() int
 	NumGraphs() int
 	SetConcurrency(n int)
+	Concurrency() int
 	MaterializedLevels() []int
 }
 

@@ -246,19 +246,49 @@ func LoadIndexFile(path string) (*Index, error) {
 	if string(head) != indexio.ManifestMagic {
 		return LoadIndex(f)
 	}
-	return loadShardedIndex(f, filepath.Dir(path))
+	return loadShardedIndex(f, path)
 }
 
 // loadShardedIndex reassembles a sharded index from its manifest stream
-// and the shard files living in dir.
-func loadShardedIndex(r io.Reader, dir string) (*Index, error) {
+// and the shard files living next to path.
+func loadShardedIndex(r io.Reader, path string) (*Index, error) {
+	parts, err := loadShardParts(r, path)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := shard.Restore(parts.states, parts.assign, parts.m.Sigma)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{back: eng, eng: eng, lt: parts.lt}, nil
+}
+
+// shardParts is a fully verified sharded snapshot: the manifest plus
+// every shard file decoded — the shared input of the in-process
+// (loadShardedIndex) and distributed (LoadDistributedIndexFile)
+// restore paths.
+type shardParts struct {
+	m      indexio.Manifest
+	states []core.IndexState
+	assign [][]int32
+	lt     *graph.LabelTable
+}
+
+// loadShardParts reads the manifest from r and loads every referenced
+// shard file (resolved relative to path's directory), verifying each
+// against the manifest's recorded size and CRC before parsing, and the
+// shards against each other (σ and label-vocabulary agreement).
+func loadShardParts(r io.Reader, path string) (*shardParts, error) {
 	m, err := indexio.LoadManifest(r)
 	if err != nil {
 		return nil, err
 	}
-	states := make([]core.IndexState, len(m.Shards))
-	assign := make([][]int32, len(m.Shards))
-	var lt *graph.LabelTable
+	dir := filepath.Dir(path)
+	p := &shardParts{
+		m:      m,
+		states: make([]core.IndexState, len(m.Shards)),
+		assign: make([][]int32, len(m.Shards)),
+	}
 	for s, ref := range m.Shards {
 		data, err := os.ReadFile(filepath.Join(dir, ref.Name))
 		if err != nil {
@@ -278,18 +308,14 @@ func loadShardedIndex(r io.Reader, dir string) (*Index, error) {
 			return nil, fmt.Errorf("skinnymine: shard file %s was built with support %d, manifest says %d", ref.Name, st.Sigma, m.Sigma)
 		}
 		if s == 0 {
-			lt = slt
-		} else if !slices.Equal(slt.Names(), lt.Names()) {
+			p.lt = slt
+		} else if !slices.Equal(slt.Names(), p.lt.Names()) {
 			return nil, fmt.Errorf("skinnymine: shard file %s label table differs from %s", ref.Name, m.Shards[0].Name)
 		}
-		states[s] = st
-		assign[s] = ref.GIDs
+		p.states[s] = st
+		p.assign[s] = ref.GIDs
 	}
-	eng, err := shard.Restore(states, assign, m.Sigma)
-	if err != nil {
-		return nil, err
-	}
-	return &Index{back: eng, eng: eng, lt: lt}, nil
+	return p, nil
 }
 
 // Sigma returns the frequency threshold σ the index was built with;
@@ -302,6 +328,12 @@ func (ix *Index) Sigma() int { return ix.back.Sigma() }
 // available CPU. Call it before serving, not concurrently with
 // requests.
 func (ix *Index) SetConcurrency(n int) { ix.back.SetConcurrency(n) }
+
+// Concurrency reports the worker budget SetConcurrency last established
+// (or the build-time default), always resolved to a positive count. It
+// exists so embedders — and the daemon's regression tests — can verify
+// that nothing reconfigured an index behind their back.
+func (ix *Index) Concurrency() int { return ix.back.Concurrency() }
 
 // NumGraphs returns the number of database graphs behind the index.
 func (ix *Index) NumGraphs() int { return ix.back.NumGraphs() }
