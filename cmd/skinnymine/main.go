@@ -49,6 +49,7 @@ func main() {
 		where    = flag.String("where", "", "declarative pattern constraint, e.g. \"contains(label='7') && vertices<=8\"")
 		topk     = flag.Int("topk", 0, "keep only the k best-ranked patterns (0: all); composes with -where")
 		topkBy   = flag.String("topkby", "support", "ranking measure for -topk: support | skinniness | size")
+		trace    = flag.Bool("trace", false, "print a per-stage span table to stderr after mining (stdout is unchanged)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -114,6 +115,9 @@ func main() {
 	if *perGraph {
 		opt.Measure = skinnymine.GraphCount
 	}
+	if *trace {
+		opt.Trace = skinnymine.NewTrace()
+	}
 	// Same validation — and the same messages — as the library and the
 	// serving daemon, before any mining work starts.
 	if err := opt.Validate(); err != nil {
@@ -122,6 +126,11 @@ func main() {
 	res, err := mine(graphs, opt, *snapshot)
 	if err != nil {
 		fatal(err)
+	}
+	if *trace {
+		// Stderr, so -trace composes with -json: the machine-readable
+		// stream on stdout stays byte-identical to an untraced run.
+		printTrace(opt.Trace)
 	}
 	if *asJSON {
 		if err := res.WriteJSON(os.Stdout); err != nil {
@@ -173,6 +182,28 @@ func mine(graphs []*skinnymine.Graph, opt skinnymine.Options, snapshotPath strin
 		return nil, err
 	}
 	return res, ix.WriteSnapshotFile(snapshotPath)
+}
+
+// printTrace renders the request's spans as an aligned table on
+// stderr, attributes last, in completion order.
+func printTrace(tr *skinnymine.Trace) {
+	spans := tr.Spans()
+	fmt.Fprintf(os.Stderr, "# trace: %d span(s)\n", len(spans))
+	fmt.Fprintf(os.Stderr, "# %-22s %12s %12s  %s\n", "span", "start_ms", "dur_ms", "attrs")
+	for _, s := range spans {
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var attrs []string
+		for _, k := range keys {
+			attrs = append(attrs, fmt.Sprintf("%s=%v", k, s.Attrs[k]))
+		}
+		fmt.Fprintf(os.Stderr, "# %-22s %12.3f %12.3f  %s\n",
+			s.Name, float64(s.StartUs)/1000, float64(s.DurationUs)/1000,
+			strings.Join(attrs, " "))
+	}
 }
 
 // ranked reports whether the request carries a topk result clause, in

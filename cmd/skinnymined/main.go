@@ -20,6 +20,14 @@
 //	curl -s localhost:8080/v1/batch \
 //	    -d '{"requests":[{"length":4,"delta":1},{"length":5,"delta":1}]}'
 //
+// Observability: every response carries an X-Request-Id (echoed or
+// generated, and forwarded to worker RPCs); /v1/mine?trace=1 wraps the
+// result with its per-stage spans; /metrics?format=prom renders the
+// Prometheus text exposition; -log-level/-log-format configure the
+// structured log, -slow-query logs slow runs with their spans, and
+// -pprof mounts /debug/pprof/ in both daemon and worker mode. See the
+// README's "Observability" section.
+//
 // # Distributed mining
 //
 // A sharded snapshot can also be served by a fleet: one worker process
@@ -48,8 +56,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -82,15 +91,25 @@ func main() {
 		workerWait  = flag.Duration("worker-backoff", 0, "wait before the first worker retry, doubling per retry (0: 100ms)")
 		workerHedge = flag.Duration("worker-hedge-after", 0, "duplicate a worker RPC not answered within this long (0: no hedging)")
 		workerProbe = flag.Duration("worker-probe", 5*time.Second, "worker health probe period (0: no probing)")
+
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error (debug includes per-request access lines)")
+		logFormat = flag.String("log-format", "text", "log encoding: text or json")
+		slowQuery = flag.Duration("slow-query", 0, "log mining runs at least this slow at warn level, with their stage spans (0: disabled)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (both daemon and worker mode)")
 	)
 	flag.Parse()
+
+	if err := setupLogger(*logLevel, *logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "skinnymined:", err)
+		os.Exit(2)
+	}
 
 	if *worker != "" {
 		if *index != "" || *input != "" || *workers != "" {
 			fmt.Fprintln(os.Stderr, "usage: skinnymined -worker <shard file> [-addr :9001] (worker mode takes no -index/-input/-workers)")
 			os.Exit(2)
 		}
-		runWorker(*worker, *addr, *drain)
+		runWorker(*worker, *addr, *drain, *pprofOn)
 		return
 	}
 	if (*index == "") == (*input == "") {
@@ -114,19 +133,20 @@ func main() {
 		fatal(err)
 	}
 	defer ix.Close()
-	log.Printf("index ready: %d graph(s), σ=%d, %d shard(s), materialized levels %v",
-		ix.NumGraphs(), ix.Sigma(), ix.Shards(), ix.MaterializedLevels())
+	slog.Info("index ready", "graphs", ix.NumGraphs(), "sigma", ix.Sigma(),
+		"shards", ix.Shards(), "materialized_levels", fmt.Sprint(ix.MaterializedLevels()))
 
 	if *save != "" {
 		if err := ix.WriteSnapshotFile(*save); err != nil {
 			fatal(err)
 		}
-		log.Printf("snapshot saved to %s", *save)
+		slog.Info("snapshot saved", "path", *save)
 	}
 
 	srv, err := server.New(server.Config{
 		Index: ix, MaxConcurrent: *maxConc, MaxLength: *maxLen,
 		MaxBatch: *maxBatch, CacheSize: *cache, IndexConcurrency: *ixConc,
+		Logger: slog.Default(), SlowQuery: *slowQuery, Pprof: *pprofOn,
 	})
 	if err != nil {
 		fatal(err)
@@ -134,15 +154,49 @@ func main() {
 	serve(&http.Server{Addr: *addr, Handler: srv.Handler()}, *addr, *drain)
 }
 
+// setupLogger installs the process-wide structured logger per the
+// -log-level and -log-format flags.
+func setupLogger(level, format string) error {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("bad -log-level %q (debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return fmt.Errorf("bad -log-format %q (text or json)", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}
+
 // runWorker serves one shard snapshot file's Stage I candidate
 // generation until SIGINT/SIGTERM.
-func runWorker(path, addr string, drain time.Duration) {
+func runWorker(path, addr string, drain time.Duration, pprofOn bool) {
 	w, err := skinnymine.LoadShardWorkerFile(path)
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("worker ready: shard file %s, %d graph(s), σ=%d, crc %08x", path, w.NumGraphs(), w.Sigma(), w.CRC())
-	serve(&http.Server{Addr: addr, Handler: w}, addr, drain)
+	w.SetLogger(slog.Default())
+	slog.Info("worker ready", "shard_file", path, "graphs", w.NumGraphs(),
+		"sigma", w.Sigma(), "crc", fmt.Sprintf("%08x", w.CRC()))
+	var h http.Handler = w
+	if pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", w)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		h = mux
+	}
+	serve(&http.Server{Addr: addr, Handler: h}, addr, drain)
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then drains.
@@ -151,7 +205,7 @@ func serve(hs *http.Server, addr string, drain time.Duration) {
 	defer stop()
 	done := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s", addr)
+		slog.Info("serving", "addr", addr)
 		done <- hs.ListenAndServe()
 	}()
 
@@ -160,7 +214,7 @@ func serve(hs *http.Server, addr string, drain time.Duration) {
 		fatal(err) // bind failure or similar; ListenAndServe never returns nil here
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down (draining up to %v)", drain)
+	slog.Info("shutting down", "drain", drain.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
@@ -169,7 +223,7 @@ func serve(hs *http.Server, addr string, drain time.Duration) {
 	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
-	log.Printf("bye")
+	slog.Info("bye")
 }
 
 // openIndex loads a snapshot (plain or sharded, sniffed by magic) or
@@ -184,14 +238,14 @@ func openIndex(snapshot, input string, sigma, shards int, workerList string, dcf
 			if err != nil {
 				return nil, err
 			}
-			log.Printf("loaded snapshot %s as a distributed coordinator over %d worker(s)", snapshot, len(dcfg.Workers))
+			slog.Info("loaded snapshot as distributed coordinator", "path", snapshot, "workers", len(dcfg.Workers))
 			return ix, nil
 		}
 		ix, err := skinnymine.LoadIndexFile(snapshot)
 		if err != nil {
 			return nil, err
 		}
-		log.Printf("loaded snapshot %s", snapshot)
+		slog.Info("loaded snapshot", "path", snapshot)
 		return ix, nil
 	}
 	f, err := os.Open(input)

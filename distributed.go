@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"time"
 
 	"skinnymine/internal/core"
 	"skinnymine/internal/indexio"
+	"skinnymine/internal/obs"
 	"skinnymine/internal/shard"
 )
 
@@ -121,6 +123,12 @@ func (ix *Index) MineContext(ctx context.Context, opt Options) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
+	// A trace installed on the context (the daemon's ?trace=1 path)
+	// applies when the request carries none of its own; Options.Trace
+	// wins when both are present.
+	if copt.Tracer == nil {
+		copt.Tracer = obs.FromContext(ctx)
+	}
 	var res *core.Result
 	if cm, ok := ix.back.(interface {
 		MineCtx(ctx context.Context, opt core.Options) (*core.Result, error)
@@ -200,6 +208,13 @@ func LoadShardWorkerFile(path string) (*ShardWorker, error) {
 func (w *ShardWorker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 	w.w.ServeHTTP(rw, r)
 }
+
+// SetLogger replaces the worker's structured logger (default:
+// slog.Default()). Call it before serving. Every candidate RPC is
+// logged with its op, result size, duration and the coordinator's
+// request ID (echoed from the X-Request-Id header), so one mining
+// query is greppable across the whole fleet.
+func (w *ShardWorker) SetLogger(l *slog.Logger) { w.w.SetLogger(l) }
 
 // NumGraphs returns the shard's graph count.
 func (w *ShardWorker) NumGraphs() int { return w.w.NumGraphs() }

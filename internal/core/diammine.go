@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"skinnymine/internal/graph"
+	"skinnymine/internal/obs"
 )
 
 // PathEmb is one oriented embedding of a path pattern: the graph it lives
@@ -289,12 +290,14 @@ func (m *DiamMiner) Concurrency() int { return m.concurrency }
 // across the worker budget), so a long-running serving process can fan
 // requests for arbitrary lengths at one shared miner.
 func (m *DiamMiner) Mine(l int) ([]*PathPattern, error) {
-	return m.mine(l, m.concurrency)
+	return m.mine(l, m.concurrency, obs.Nop)
 }
 
-// mine is Mine with an explicit worker count, so one request can use
-// its own Options.Concurrency without writing shared miner state.
-func (m *DiamMiner) mine(l, workers int) ([]*PathPattern, error) {
+// mine is Mine with an explicit worker count — so one request can use
+// its own Options.Concurrency without writing shared miner state — and
+// a tracer recording per-level timings. Tracing changes visibility,
+// never bytes: tr only observes durations and candidate counts.
+func (m *DiamMiner) mine(l, workers int, tr obs.Tracer) ([]*PathPattern, error) {
 	if l < 1 {
 		return nil, fmt.Errorf("core: path length must be >= 1, got %d", l)
 	}
@@ -314,13 +317,15 @@ func (m *DiamMiner) mine(l, workers int) ([]*PathPattern, error) {
 	for k*2 <= l {
 		k *= 2
 	}
-	if err := m.ensurePowers(k, workers); err != nil {
+	if err := m.ensurePowers(k, workers, tr); err != nil {
 		return nil, err
 	}
 	if l == k {
 		return m.levels[l], nil
 	}
+	sp := tr.Start("stage1.merge").TagInt("level", int64(l)).TagInt("base", int64(k))
 	merged := m.merge(m.levels[k], l, k, workers)
+	sp.TagInt("patterns", int64(len(merged))).End()
 	m.storeLevel(l, merged)
 	return merged, nil
 }
@@ -343,15 +348,21 @@ func (m *DiamMiner) MaxFrequentLength(limit int) (int, error) {
 }
 
 // ensurePowers fills m.levels for lengths 1, 2, 4, ..., upto.
-func (m *DiamMiner) ensurePowers(upto, workers int) error {
+func (m *DiamMiner) ensurePowers(upto, workers int, tr obs.Tracer) error {
 	if _, ok := m.levels[1]; !ok {
-		m.storeLevel(1, m.frequentEdges())
+		sp := tr.Start("stage1.edges").TagInt("level", 1)
+		edges := m.frequentEdges()
+		sp.TagInt("patterns", int64(len(edges))).End()
+		m.storeLevel(1, edges)
 	}
 	for l := 2; l <= upto; l *= 2 {
 		if _, ok := m.levels[l]; ok {
 			continue
 		}
-		m.storeLevel(l, m.concat(m.levels[l/2], workers))
+		sp := tr.Start("stage1.concat").TagInt("level", int64(l))
+		ps := m.concat(m.levels[l/2], workers)
+		sp.TagInt("patterns", int64(len(ps))).End()
+		m.storeLevel(l, ps)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"skinnymine/internal/dfscode"
 	"skinnymine/internal/graph"
+	"skinnymine/internal/obs"
 	"skinnymine/internal/support"
 )
 
@@ -105,6 +106,13 @@ type Options struct {
 	// judged within the constrained result set). Returning false drops
 	// the pattern; rejections are counted in Stats.OutputFilterRejects.
 	OutputFilter func(g *graph.Graph, skinniness int32, support int) bool
+
+	// Tracer receives per-stage and per-level spans (Stage I edge /
+	// concat / merge timings with candidate counts, Stage II growth
+	// time). Nil means obs.Nop. Tracing is observation only: output is
+	// byte-identical whether a recording trace or the no-op tracer is
+	// attached — the refguards pin this.
+	Tracer obs.Tracer
 }
 
 // DefaultOptions returns the recommended defaults for (l,δ)-SPM.
@@ -309,6 +317,7 @@ func validate(graphs []*graph.Graph, opt *Options) error {
 	if opt.Concurrency <= 0 {
 		opt.Concurrency = runtime.GOMAXPROCS(0)
 	}
+	opt.Tracer = obs.Default(opt.Tracer)
 	return nil
 }
 
@@ -336,10 +345,12 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 	// this request's worker budget. The count is passed per call — not
 	// stored on the shared miner — so concurrent requests against a
 	// warmed index stay race-free.
+	tr := obs.Default(opt.Tracer)
 	t0 := time.Now()
+	sp1 := tr.Start("stage1")
 	var seeds []*PathPattern
 	for l := lo; l <= opt.Length; l++ {
-		ps, err := dm.mine(l, opt.Concurrency)
+		ps, err := dm.mine(l, opt.Concurrency, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -365,11 +376,13 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 	}
 	stats.DiamMineTime = time.Since(t0)
 	stats.PathsMined = len(seeds)
+	sp1.TagInt("seeds", int64(len(seeds))).End()
 
 	// Stage II: grow each canonical diameter level by level, one seed's
 	// cluster per task. Workers share the miner: the dedup set is
 	// striped, counters are atomic, and everything else is read-only.
 	t1 := time.Now()
+	sp2 := tr.Start("stage2").TagInt("seeds", int64(len(seeds)))
 	maxDelta := opt.Delta
 	if maxDelta < 0 {
 		maxDelta = opt.MaxLevels
@@ -434,6 +447,7 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 		out = out[:opt.MaxPatterns]
 	}
 	stats.LevelGrowTime = time.Since(t1)
+	sp2.TagInt("patterns", int64(len(out))).End()
 	m.stats.snapshot(&stats)
 	return &Result{Patterns: out, Stats: stats}, nil
 }

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets are the fixed upper bounds, in milliseconds,
+// used for every latency histogram in the daemon (mine latency,
+// admission wait, worker RPC latency). Fixed boundaries keep snapshots
+// mergeable and the Prometheus exposition stable across restarts.
+var DefaultLatencyBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Histogram is a fixed-boundary latency histogram safe for concurrent
+// Observe calls: per-bucket atomic counters plus running count, sum and
+// max. An observation equal to a boundary lands in that boundary's
+// bucket (le semantics, like Prometheus).
+type Histogram struct {
+	bounds []float64      // ascending upper bounds in milliseconds
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow (+Inf) bucket
+	count  atomic.Int64
+	sumUs  atomic.Int64
+	maxUs  atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds in milliseconds; nil means DefaultLatencyBuckets.
+func NewHistogram(boundsMs []float64) *Histogram {
+	if boundsMs == nil {
+		boundsMs = DefaultLatencyBuckets
+	}
+	return &Histogram{
+		bounds: boundsMs,
+		counts: make([]atomic.Int64, len(boundsMs)+1),
+	}
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	ms := float64(us) / 1000
+	// First bound >= ms: exact-boundary samples land in that bucket;
+	// larger than every bound lands in the overflow slot.
+	i := sort.SearchFloat64s(h.bounds, ms)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumUs.Add(us)
+	for {
+		cur := h.maxUs.Load()
+		if us <= cur || h.maxUs.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// HistogramBucket is one cumulative bucket: the count of samples at or
+// below LeMs milliseconds.
+type HistogramBucket struct {
+	LeMs  float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: total
+// count, sum and max in milliseconds, and the cumulative buckets
+// (Prometheus-style; the implicit +Inf bucket equals Count).
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	SumMs   float64           `json:"sum_ms"`
+	MaxMs   float64           `json:"max_ms"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+// Snapshot returns the current cumulative bucket counts. Concurrent
+// observers may land between bucket reads, so the buckets are
+// monotone but the totals can trail a racing Observe by one sample;
+// quiescent snapshots are exact.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		SumMs:   float64(h.sumUs.Load()) / 1000,
+		MaxMs:   float64(h.maxUs.Load()) / 1000,
+		Buckets: make([]HistogramBucket, len(h.bounds)),
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Buckets[i] = HistogramBucket{LeMs: b, Count: cum}
+	}
+	return s
+}

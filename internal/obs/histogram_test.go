@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBoundaryExactness pins le semantics: a sample exactly on
+// a bucket boundary counts in that boundary's bucket, one microsecond
+// over lands in the next, and a sample beyond every bound lands only in
+// the implicit +Inf slot (visible as Count exceeding the last bucket).
+func TestHistogramBoundaryExactness(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	h.Observe(1 * time.Millisecond)                    // exactly 1ms  -> le=1
+	h.Observe(1*time.Millisecond + time.Microsecond)   // 1.001ms      -> le=10
+	h.Observe(10 * time.Millisecond)                   // exactly 10ms -> le=10
+	h.Observe(100*time.Millisecond + time.Microsecond) // overflow
+
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count %d, want 4", s.Count)
+	}
+	want := []int64{1, 3, 3} // cumulative per bucket
+	for i, b := range s.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket le=%vms count %d, want %d", b.LeMs, b.Count, want[i])
+		}
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; s.Count-last.Count != 1 {
+		t.Errorf("overflow = %d, want 1", s.Count-last.Count)
+	}
+	if s.MaxMs < 100 {
+		t.Errorf("max %vms, want >= 100", s.MaxMs)
+	}
+}
+
+// TestHistogramNegativeClamped: a negative duration (clock skew) is
+// clamped to zero rather than corrupting the sum.
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(-5 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.SumMs != 0 {
+		t.Errorf("count=%d sum=%v, want 1/0", s.Count, s.SumMs)
+	}
+	if s.Buckets[0].Count != 1 {
+		t.Errorf("clamped sample missing from the first bucket")
+	}
+}
+
+// TestHistogramConcurrentObserve hammers Observe from many goroutines
+// under -race and then checks snapshot sum/count consistency: every
+// sample accounted for exactly once, cumulative buckets monotone, and
+// the sum exact (each goroutine contributes a known total).
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	const (
+		goroutines = 16
+		perG       = 480 // divisible by the 40-value spread below
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Deterministic spread across buckets including overflow.
+				h.Observe(time.Duration(i%40) * 400 * time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := h.Snapshot()
+	if want := int64(goroutines * perG); s.Count != want {
+		t.Fatalf("count %d, want %d", s.Count, want)
+	}
+	// Sum: each goroutine observes 0,400,...,15600ms repeated perG/40 times.
+	var per int64
+	for i := 0; i < 40; i++ {
+		per += int64(i * 400)
+	}
+	if want := float64(per * goroutines * perG / 40); s.SumMs != want {
+		t.Errorf("sum %vms, want %v", s.SumMs, want)
+	}
+	if s.MaxMs != 15600 {
+		t.Errorf("max %vms, want 15600", s.MaxMs)
+	}
+	prev := int64(0)
+	for _, b := range s.Buckets {
+		if b.Count < prev {
+			t.Fatalf("cumulative buckets not monotone at le=%v: %d < %d", b.LeMs, b.Count, prev)
+		}
+		prev = b.Count
+	}
+	if prev > s.Count {
+		t.Errorf("last bucket %d exceeds total count %d", prev, s.Count)
+	}
+}
+
+// TestHistogramDefaultBuckets: nil bounds select the shared default
+// boundary set, so every daemon histogram is mergeable.
+func TestHistogramDefaultBuckets(t *testing.T) {
+	h := NewHistogram(nil)
+	s := h.Snapshot()
+	if len(s.Buckets) != len(DefaultLatencyBuckets) {
+		t.Fatalf("got %d buckets, want %d", len(s.Buckets), len(DefaultLatencyBuckets))
+	}
+	for i, b := range s.Buckets {
+		if b.LeMs != DefaultLatencyBuckets[i] {
+			t.Errorf("bucket %d bound %v, want %v", i, b.LeMs, DefaultLatencyBuckets[i])
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNopSpanIsNilSafe: the no-op tracer returns a nil span whose whole
+// method set tolerates the nil receiver, so instrumentation sites never
+// branch on whether tracing is live.
+func TestNopSpanIsNilSafe(t *testing.T) {
+	sp := Nop.Start("anything")
+	if sp != nil {
+		t.Fatalf("Nop.Start returned %v, want nil", sp)
+	}
+	sp.Tag("k", "v").TagInt("n", 7).End() // must not panic
+	if Default(nil) != Nop {
+		t.Error("Default(nil) is not Nop")
+	}
+}
+
+// TestTraceRecordsSpans: spans record name, tags, and durations
+// relative to the trace start, in completion order.
+func TestTraceRecordsSpans(t *testing.T) {
+	tr := NewTrace()
+	outer := tr.Start("outer")
+	inner := tr.Start("inner").Tag("op", "concat").TagInt("level", 4)
+	time.Sleep(2 * time.Millisecond)
+	inner.End()
+	outer.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Completion order: inner ended first.
+	if spans[0].Name != "inner" || spans[1].Name != "outer" {
+		t.Fatalf("span order %q, %q; want inner, outer", spans[0].Name, spans[1].Name)
+	}
+	in := spans[0]
+	if in.Attrs["op"] != "concat" || in.Attrs["level"] != int64(4) {
+		t.Errorf("inner attrs = %v, want op=concat level=4", in.Attrs)
+	}
+	if in.DurationUs < 1000 {
+		t.Errorf("inner duration %dus, want >= ~2ms", in.DurationUs)
+	}
+	if in.StartUs < 0 {
+		t.Errorf("inner start offset %dus, want >= 0", in.StartUs)
+	}
+	if spans[1].DurationUs < in.DurationUs {
+		t.Errorf("outer (%dus) shorter than the inner span it encloses (%dus)",
+			spans[1].DurationUs, in.DurationUs)
+	}
+}
+
+// TestTraceConcurrentSpans exercises concurrent Start/Tag/End under
+// -race: parallel mining workers all write to one trace.
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	const n = 32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr.Start("worker").TagInt("i", int64(i)).End()
+		}(i)
+	}
+	wg.Wait()
+	if got := len(tr.Snapshot()); got != n {
+		t.Errorf("recorded %d spans, want %d", got, n)
+	}
+}
+
+// TestContextCarriers: tracer and request ID round-trip through a
+// context; absence yields the no-op tracer and the empty ID.
+func TestContextCarriers(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != Nop {
+		t.Error("FromContext on a bare context is not Nop")
+	}
+	if TraceFromContext(ctx) != nil {
+		t.Error("TraceFromContext on a bare context is not nil")
+	}
+	if RequestID(ctx) != "" {
+		t.Error("RequestID on a bare context is not empty")
+	}
+
+	tr := NewTrace()
+	ctx = NewContext(ctx, tr)
+	if FromContext(ctx) != Tracer(tr) {
+		t.Error("FromContext did not return the installed trace")
+	}
+	if TraceFromContext(ctx) != tr {
+		t.Error("TraceFromContext did not recover the concrete *Trace")
+	}
+	ctx = NewContext(context.Background(), Nop)
+	if TraceFromContext(ctx) != nil {
+		t.Error("TraceFromContext returned a trace for the no-op tracer")
+	}
+
+	ctx = WithRequestID(context.Background(), "abc123")
+	if got := RequestID(ctx); got != "abc123" {
+		t.Errorf("RequestID = %q, want abc123", got)
+	}
+}
+
+// TestNewRequestID: fresh IDs are 16 hex digits and distinct.
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("lengths %d/%d, want 16", len(a), len(b))
+	}
+	if a == b {
+		t.Errorf("two fresh request IDs collided: %q", a)
+	}
+	for _, c := range a {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			t.Fatalf("non-hex character %q in %q", c, a)
+		}
+	}
+}

@@ -58,15 +58,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
 		return
 	}
 	if len(req.Requests) == 0 {
-		writeError(w, http.StatusBadRequest, "batch contains no requests")
+		s.writeError(w, http.StatusBadRequest, "batch contains no requests")
 		return
 	}
 	if len(req.Requests) > s.maxBatch {
-		writeError(w, http.StatusBadRequest,
+		s.writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("batch of %d exceeds this server's limit of %d", len(req.Requests), s.maxBatch))
 		return
 	}
@@ -157,5 +157,5 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results[i] = BatchItem{Status: http.StatusOK, Source: source, Result: u.body}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -2,15 +2,23 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
+
+	"skinnymine"
+	"skinnymine/internal/obs"
 )
 
 // metrics is the daemon's expvar-style counter set, served as JSON from
-// GET /metrics. All counters are atomics so handlers never serialize on
-// a stats lock; the latency maximum is the one field that needs a CAS
-// loop.
+// GET /metrics (Prometheus text with ?format=prom). All counters are
+// atomics so handlers never serialize on a stats lock; latencies go
+// into fixed-boundary histograms (internal/obs), so the snapshot
+// carries full distributions, not just an average and a max.
 type metrics struct {
 	start time.Time
 
@@ -20,6 +28,7 @@ type metrics struct {
 		backbones atomic.Int64
 		healthz   atomic.Int64
 		metrics   atomic.Int64
+		notFound  atomic.Int64 // responses that left the mux as 404
 	}
 
 	// batch tracks /v1/batch composition; the work its entries cause is
@@ -38,33 +47,36 @@ type metrics struct {
 		runs        atomic.Int64
 		errors      atomic.Int64
 		inFlight    atomic.Int64
-		latCount    atomic.Int64
-		latSumUs    atomic.Int64
-		latMaxUs    atomic.Int64
+		slowQueries atomic.Int64
+		latency     *obs.Histogram // per-run mining wall clock
 	}
+
+	// admissionWait is how long admitted requests queued at the gate —
+	// the early saturation signal (latency only shows the work itself).
+	admissionWait *obs.Histogram
 }
 
-func newMetrics() *metrics { return &metrics{start: time.Now()} }
+func newMetrics() *metrics {
+	m := &metrics{start: time.Now(), admissionWait: obs.NewHistogram(nil)}
+	m.mine.latency = obs.NewHistogram(nil)
+	return m
+}
 
 // observeMine records one mining run's wall-clock latency.
 func (m *metrics) observeMine(d time.Duration) {
-	us := d.Microseconds()
-	m.mine.latCount.Add(1)
-	m.mine.latSumUs.Add(us)
-	for {
-		cur := m.mine.latMaxUs.Load()
-		if us <= cur || m.mine.latMaxUs.CompareAndSwap(cur, us) {
-			return
-		}
-	}
+	m.mine.latency.Observe(d)
 }
 
-// MetricsSnapshot is the JSON document GET /metrics returns.
+// MetricsSnapshot is the JSON document GET /metrics returns. Workers is
+// present only when the served index is distributed: per-worker RPC
+// counters and latency histograms.
 type MetricsSnapshot struct {
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Requests      map[string]int64 `json:"requests_total"`
-	Mine          MineMetrics      `json:"mine"`
-	Batch         BatchMetrics     `json:"batch"`
+	UptimeSeconds   float64                     `json:"uptime_seconds"`
+	Requests        map[string]int64            `json:"requests_total"`
+	Mine            MineMetrics                 `json:"mine"`
+	Batch           BatchMetrics                `json:"batch"`
+	AdmissionWaitMs obs.HistogramSnapshot       `json:"admission_wait_ms"`
+	Workers         []skinnymine.WorkerRPCStats `json:"workers,omitempty"`
 }
 
 // BatchMetrics is the /v1/batch section of the metrics document. The
@@ -85,17 +97,26 @@ type BatchMetrics struct {
 // counted when a request becomes the leader, not when it merely misses
 // the LRU: coalesced followers miss the cache too, but charging them a
 // miss each would overstate misses by exactly the coalesced count.
+// (?trace=1 requests bypass the cache and coalescing by design, so
+// they appear in runs and the latency histogram but in none of the
+// three cache counters.)
+//
+// latency_count, latency_avg_ms and latency_max_ms predate the
+// histogram and are derived from it, so existing dashboards keep
+// working; latency_ms carries the full distribution.
 type MineMetrics struct {
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	Coalesced    int64   `json:"coalesced"`
-	Runs         int64   `json:"runs"`
-	Errors       int64   `json:"errors"`
-	InFlight     int64   `json:"in_flight"`
-	LatencyCount int64   `json:"latency_count"`
-	LatencyAvgMs float64 `json:"latency_avg_ms"`
-	LatencyMaxMs float64 `json:"latency_max_ms"`
+	CacheHits    int64                 `json:"cache_hits"`
+	CacheMisses  int64                 `json:"cache_misses"`
+	CacheHitRate float64               `json:"cache_hit_rate"`
+	Coalesced    int64                 `json:"coalesced"`
+	Runs         int64                 `json:"runs"`
+	Errors       int64                 `json:"errors"`
+	InFlight     int64                 `json:"in_flight"`
+	SlowQueries  int64                 `json:"slow_queries"`
+	LatencyCount int64                 `json:"latency_count"`
+	LatencyAvgMs float64               `json:"latency_avg_ms"`
+	LatencyMaxMs float64               `json:"latency_max_ms"`
+	LatencyMs    obs.HistogramSnapshot `json:"latency_ms"`
 }
 
 func (m *metrics) snapshot() MetricsSnapshot {
@@ -105,10 +126,10 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	if denom := hits + misses + coalesced; denom > 0 {
 		rate = float64(hits) / float64(denom)
 	}
-	latCount := m.mine.latCount.Load()
+	lat := m.mine.latency.Snapshot()
 	avg := 0.0
-	if latCount > 0 {
-		avg = float64(m.mine.latSumUs.Load()) / float64(latCount) / 1000
+	if lat.Count > 0 {
+		avg = lat.SumMs / float64(lat.Count)
 	}
 	return MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
@@ -118,6 +139,7 @@ func (m *metrics) snapshot() MetricsSnapshot {
 			"backbones": m.requests.backbones.Load(),
 			"healthz":   m.requests.healthz.Load(),
 			"metrics":   m.requests.metrics.Load(),
+			"not_found": m.requests.notFound.Load(),
 		},
 		Batch: BatchMetrics{
 			Items:   m.batch.items.Load(),
@@ -132,16 +154,148 @@ func (m *metrics) snapshot() MetricsSnapshot {
 			Runs:         m.mine.runs.Load(),
 			Errors:       m.mine.errors.Load(),
 			InFlight:     m.mine.inFlight.Load(),
-			LatencyCount: latCount,
+			SlowQueries:  m.mine.slowQueries.Load(),
+			LatencyCount: lat.Count,
 			LatencyAvgMs: avg,
-			LatencyMaxMs: float64(m.mine.latMaxUs.Load()) / 1000,
+			LatencyMaxMs: lat.MaxMs,
+			LatencyMs:    lat,
 		},
+		AdmissionWaitMs: m.admissionWait.Snapshot(),
 	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.metrics.Add(1)
-	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+	snap := s.metrics.snapshot()
+	snap.Workers = s.ix.WorkerRPCStats()
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := writeProm(w, snap); err != nil {
+			s.log.Debug("metrics response write failed", "err", err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, snap)
+}
+
+// writeProm renders the snapshot in the Prometheus text exposition
+// format. The JSON document stays the canonical form; this rendering
+// exists so a standard scraper needs no sidecar.
+func writeProm(w io.Writer, snap MetricsSnapshot) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# TYPE skinnymine_uptime_seconds gauge\n")
+	p("skinnymine_uptime_seconds %g\n", snap.UptimeSeconds)
+	p("# TYPE skinnymine_requests_total counter\n")
+	endpoints := make([]string, 0, len(snap.Requests))
+	for k := range snap.Requests {
+		endpoints = append(endpoints, k)
+	}
+	sort.Strings(endpoints)
+	for _, k := range endpoints {
+		p("skinnymine_requests_total{endpoint=%q} %d\n", k, snap.Requests[k])
+	}
+	p("# TYPE skinnymine_mine_cache_hits_total counter\n")
+	p("skinnymine_mine_cache_hits_total %d\n", snap.Mine.CacheHits)
+	p("# TYPE skinnymine_mine_cache_misses_total counter\n")
+	p("skinnymine_mine_cache_misses_total %d\n", snap.Mine.CacheMisses)
+	p("# TYPE skinnymine_mine_coalesced_total counter\n")
+	p("skinnymine_mine_coalesced_total %d\n", snap.Mine.Coalesced)
+	p("# TYPE skinnymine_mine_runs_total counter\n")
+	p("skinnymine_mine_runs_total %d\n", snap.Mine.Runs)
+	p("# TYPE skinnymine_mine_errors_total counter\n")
+	p("skinnymine_mine_errors_total %d\n", snap.Mine.Errors)
+	p("# TYPE skinnymine_mine_in_flight gauge\n")
+	p("skinnymine_mine_in_flight %d\n", snap.Mine.InFlight)
+	p("# TYPE skinnymine_mine_slow_queries_total counter\n")
+	p("skinnymine_mine_slow_queries_total %d\n", snap.Mine.SlowQueries)
+	p("# TYPE skinnymine_batch_items_total counter\n")
+	p("skinnymine_batch_items_total %d\n", snap.Batch.Items)
+	p("# TYPE skinnymine_batch_unique_total counter\n")
+	p("skinnymine_batch_unique_total %d\n", snap.Batch.Unique)
+	p("# TYPE skinnymine_batch_deduped_total counter\n")
+	p("skinnymine_batch_deduped_total %d\n", snap.Batch.Deduped)
+	promHistogram(p, "skinnymine_mine_latency_ms", "", histSnap(snap.Mine.LatencyMs))
+	promHistogram(p, "skinnymine_admission_wait_ms", "", histSnap(snap.AdmissionWaitMs))
+	if len(snap.Workers) > 0 {
+		p("# TYPE skinnymine_worker_healthy gauge\n")
+		p("# TYPE skinnymine_worker_requests_total counter\n")
+		p("# TYPE skinnymine_worker_retries_total counter\n")
+		p("# TYPE skinnymine_worker_hedges_total counter\n")
+		p("# TYPE skinnymine_worker_errors_total counter\n")
+		p("# TYPE skinnymine_worker_health_transitions_total counter\n")
+		for _, ws := range snap.Workers {
+			lbl := fmt.Sprintf("{shard=%q,addr=%q}", strconv.Itoa(ws.Shard), ws.Addr)
+			healthy := 0
+			if ws.Healthy {
+				healthy = 1
+			}
+			p("skinnymine_worker_healthy%s %d\n", lbl, healthy)
+			p("skinnymine_worker_requests_total%s %d\n", lbl, ws.Requests)
+			p("skinnymine_worker_retries_total%s %d\n", lbl, ws.Retries)
+			p("skinnymine_worker_hedges_total%s %d\n", lbl, ws.Hedges)
+			p("skinnymine_worker_errors_total%s %d\n", lbl, ws.Errors)
+			p("skinnymine_worker_health_transitions_total%s %d\n", lbl, ws.HealthTransitions)
+		}
+		for _, ws := range snap.Workers {
+			promHistogram(p, "skinnymine_worker_rpc_latency_ms",
+				fmt.Sprintf("shard=%q,addr=%q", strconv.Itoa(ws.Shard), ws.Addr),
+				publicHistSnap(ws.Latency))
+		}
+	}
+	return err
+}
+
+// promHist is the format-neutral histogram view both snapshot types
+// lower onto for the Prometheus rendering.
+type promHist struct {
+	count   int64
+	sumMs   float64
+	buckets []struct {
+		le    float64
+		count int64
+	}
+}
+
+func histSnap(s obs.HistogramSnapshot) promHist {
+	h := promHist{count: s.Count, sumMs: s.SumMs}
+	for _, b := range s.Buckets {
+		h.buckets = append(h.buckets, struct {
+			le    float64
+			count int64
+		}{b.LeMs, b.Count})
+	}
+	return h
+}
+
+func publicHistSnap(s skinnymine.LatencySnapshot) promHist {
+	h := promHist{count: s.Count, sumMs: s.SumMs}
+	for _, b := range s.Buckets {
+		h.buckets = append(h.buckets, struct {
+			le    float64
+			count int64
+		}{b.LeMs, b.Count})
+	}
+	return h
+}
+
+func promHistogram(p func(string, ...any), name, labels string, h promHist) {
+	sep, suffix := "", ""
+	if labels != "" {
+		sep = ","
+		suffix = "{" + labels + "}"
+	}
+	p("# TYPE %s histogram\n", name)
+	for _, b := range h.buckets {
+		p("%s_bucket{%sle=\"%g\"} %d\n", name, labels+sep, b.le, b.count)
+	}
+	p("%s_bucket{%sle=\"+Inf\"} %d\n", name, labels+sep, h.count)
+	p("%s_sum%s %g\n", name, suffix, h.sumMs)
+	p("%s_count%s %d\n", name, suffix, h.count)
 }
 
 // marshalIndented serializes v with a trailing newline, matching the
@@ -154,8 +308,11 @@ func marshalIndented(v any) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// writeJSON serializes v directly onto the response.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON serializes v directly onto the response. A failed body
+// write (the client hung up mid-response) is logged at debug — the
+// request already ran, so there is nothing else to do with the error,
+// but it should not vanish silently.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	body, err := marshalIndented(v)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -163,7 +320,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(body)
+	if _, err := w.Write(body); err != nil {
+		s.log.Debug("response write failed", "status", status, "err", err)
+	}
 }
 
 // errorJSON is the uniform 4xx/5xx body.
@@ -171,6 +330,6 @@ type errorJSON struct {
 	Error string `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorJSON{Error: msg})
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, errorJSON{Error: msg})
 }

@@ -29,13 +29,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"skinnymine"
+	"skinnymine/internal/obs"
 )
 
 // maxBodyBytes bounds a /v1/mine request body; options JSON is tiny.
@@ -71,6 +74,17 @@ type Config struct {
 	// silently reset the caller-owned index to one-per-CPU; it no longer
 	// touches it unless asked.)
 	IndexConcurrency int
+	// Logger receives the daemon's structured log lines (per-request
+	// access lines at debug, slow queries at warn). nil means
+	// slog.Default().
+	Logger *slog.Logger
+	// SlowQuery, when > 0, logs any mining run at least this slow at
+	// warn level — with the run's spans attached, so the log line alone
+	// says where the time went. 0 disables the slow-query log.
+	SlowQuery time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiles expose internals and cost real CPU, so they are opt-in.
+	Pprof bool
 }
 
 // Server serves mining requests over HTTP. Create one with New and
@@ -83,6 +97,9 @@ type Server struct {
 	cache    *lruCache // nil when caching is disabled
 	flights  *flightGroup
 	metrics  *metrics
+	log      *slog.Logger
+	slowQry  time.Duration // 0 disables the slow-query log
+	pprofOn  bool
 
 	// mineFn runs one mining request under the leader request's context
 	// (a distributed index propagates it into worker RPCs); tests
@@ -117,6 +134,9 @@ func New(cfg Config) (*Server, error) {
 	case cfg.IndexConcurrency < 0:
 		cfg.Index.SetConcurrency(0) // one worker per available CPU
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
 	s := &Server{
 		ix:       cfg.Index,
 		maxLen:   cfg.MaxLength,
@@ -124,6 +144,9 @@ func New(cfg Config) (*Server, error) {
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
 		flights:  newFlightGroup(),
 		metrics:  newMetrics(),
+		log:      cfg.Logger,
+		slowQry:  cfg.SlowQuery,
+		pprofOn:  cfg.Pprof,
 		mineFn:   cfg.Index.MineContext,
 	}
 	switch {
@@ -135,7 +158,8 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the daemon's route table.
+// Handler returns the daemon's route table, wrapped in the
+// observability middleware (request IDs, access log, 404 accounting).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/mine", s.handleMine)
@@ -145,7 +169,71 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/backbones", s.handleBackbones)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	if s.pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.withObs(mux)
+}
+
+// statusWriter records the status and body size a handler produced, so
+// the middleware can log and account for them after the fact.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// withObs is the outermost layer of every request: it assigns (or
+// echoes) the X-Request-Id, installs it on the context so a
+// distributed index forwards it to every worker RPC, emits one access
+// log line per request, and counts responses that left the mux as 404
+// — unroutable paths are otherwise invisible in the per-endpoint
+// counters.
+func (s *Server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(obs.RequestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set(obs.RequestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r.WithContext(obs.WithRequestID(r.Context(), id)))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if sw.status == http.StatusNotFound {
+			s.metrics.requests.notFound.Add(1)
+		}
+		// Probe endpoints log at debug so a scraper does not flood the
+		// info log; real API traffic logs at info.
+		level := slog.LevelInfo
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			level = slog.LevelDebug
+		}
+		s.log.Log(r.Context(), level, "request",
+			"method", r.Method, "path", r.URL.Path, "status", sw.status,
+			"bytes", sw.bytes, "dur_ms", float64(time.Since(t0).Microseconds())/1000,
+			"request_id", id)
+	})
 }
 
 // MineRequest is the wire form of skinnymine.Options. Field names
@@ -262,15 +350,71 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
 		return
 	}
 	opt, err := s.toOptions(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if r.URL.Query().Get("trace") == "1" {
+		s.serveTraced(w, r, opt)
 		return
 	}
 	s.serveCached(w, r, cacheKey(&req), true, s.mineProduce(opt))
+}
+
+// TraceResponse is the ?trace=1 payload: the normal mining result plus
+// the request's spans. TotalMs is the run's wall clock; the spans sum
+// to approximately it (stage spans nest under no parent, so the
+// top-level stage1/stage2 pair covers the run).
+type TraceResponse struct {
+	RequestID string                 `json:"request_id"`
+	TotalMs   float64                `json:"total_ms"`
+	Spans     []skinnymine.TraceSpan `json:"spans"`
+	Result    json.RawMessage        `json:"result"`
+}
+
+// serveTraced answers one mining request with its trace attached.
+// Traced requests bypass the LRU cache and coalescing by design — a
+// cached body has no spans to show, and a coalesced follower would see
+// the leader's — but still take an admission slot and count under runs
+// and the latency histogram. They never touch the hit/miss/coalesced
+// ledger, which tracks only cacheable requests.
+func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request, opt skinnymine.Options) {
+	release, err := s.admit(r.Context())
+	if err != nil {
+		s.writeError(w, errStatus(err), err.Error())
+		return
+	}
+	defer release()
+	tr := skinnymine.NewTrace()
+	opt.Trace = tr
+	s.metrics.mine.inFlight.Add(1)
+	s.metrics.mine.runs.Add(1)
+	t0 := time.Now()
+	res, err := s.mineFn(r.Context(), opt)
+	dur := time.Since(t0)
+	s.metrics.mine.inFlight.Add(-1)
+	if err != nil {
+		s.metrics.mine.errors.Add(1)
+		s.writeError(w, errStatus(err), err.Error())
+		return
+	}
+	s.metrics.observeMine(dur)
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("X-Result-Source", "traced")
+	s.writeJSON(w, http.StatusOK, TraceResponse{
+		RequestID: obs.RequestID(r.Context()),
+		TotalMs:   float64(dur.Microseconds()) / 1000,
+		Spans:     tr.Spans(),
+		Result:    json.RawMessage(buf.Bytes()),
+	})
 }
 
 // mineProduce returns the producer for one mining request: run the
@@ -283,12 +427,35 @@ func (s *Server) mineProduce(opt skinnymine.Options) func(context.Context) ([]by
 		s.metrics.mine.inFlight.Add(1)
 		defer s.metrics.mine.inFlight.Add(-1)
 		s.metrics.mine.runs.Add(1)
+		// With a slow-query threshold set, record spans speculatively:
+		// whether a run was slow is only known after it finishes, and a
+		// slow-query line without the stage breakdown answers nothing.
+		var qt *obs.Trace
+		if s.slowQry > 0 && obs.TraceFromContext(ctx) == nil {
+			qt = obs.NewTrace()
+			ctx = obs.NewContext(ctx, qt)
+		}
 		t0 := time.Now()
 		res, err := s.mineFn(ctx, opt)
+		dur := time.Since(t0)
 		if err != nil {
 			return nil, err
 		}
-		s.metrics.observeMine(time.Since(t0))
+		s.metrics.observeMine(dur)
+		if s.slowQry > 0 && dur >= s.slowQry {
+			s.metrics.mine.slowQueries.Add(1)
+			attrs := []any{
+				"dur_ms", float64(dur.Microseconds()) / 1000,
+				"length", opt.Length, "delta", opt.Delta,
+				"request_id", obs.RequestID(ctx),
+			}
+			if qt != nil {
+				if b, err := json.Marshal(qt.Snapshot()); err == nil {
+					attrs = append(attrs, "spans", string(b))
+				}
+			}
+			s.log.Warn("slow query", attrs...)
+		}
 		var buf bytes.Buffer
 		if err := res.WriteJSON(&buf); err != nil {
 			return nil, err
@@ -304,10 +471,24 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	if err != nil {
 		// Input was validated before produce, so a failed run is the
 		// server's problem: 503 for admission cancellation, 500 otherwise.
-		writeError(w, errStatus(err), err.Error())
+		s.writeError(w, errStatus(err), err.Error())
 		return
 	}
-	writeBody(w, body, source)
+	s.writeBody(w, body, source)
+}
+
+// admit takes one admission-gate slot, recording how long the wait
+// took; the returned release must be called when the work is done. A
+// context cancellation while queued fails with errAdmissionCanceled.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	t0 := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.admissionWait.Observe(time.Since(t0))
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: %v", errAdmissionCanceled, ctx.Err())
+	}
 }
 
 // errStatus maps a failed run to its HTTP status. Admission
@@ -353,12 +534,11 @@ func (s *Server) execute(r *http.Request, key string, trackMine bool, produce fu
 		if s.cache != nil && trackMine {
 			s.metrics.mine.cacheMisses.Add(1)
 		}
-		select {
-		case s.sem <- struct{}{}:
-		case <-r.Context().Done():
-			return nil, fmt.Errorf("%w: %v", errAdmissionCanceled, r.Context().Err())
+		release, err := s.admit(r.Context())
+		if err != nil {
+			return nil, err
 		}
-		defer func() { <-s.sem }()
+		defer release()
 		body, err := produce(r.Context())
 		if err != nil {
 			return nil, err
@@ -397,11 +577,14 @@ func (s *Server) execute(r *http.Request, key string, trackMine bool, produce fu
 }
 
 // writeBody emits a pre-serialized ResultJSON, tagging where it came
-// from so clients and tests can distinguish cache hits.
-func writeBody(w http.ResponseWriter, body []byte, source string) {
+// from so clients and tests can distinguish cache hits. A failed write
+// means the client hung up; log it at debug rather than dropping it.
+func (s *Server) writeBody(w http.ResponseWriter, body []byte, source string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Result-Source", source)
-	w.Write(body)
+	if _, err := w.Write(body); err != nil {
+		s.log.Debug("response write failed", "source", source, "err", err)
+	}
 }
 
 // BackbonesResponse is the /v1/backbones payload: the Stage I minimal
@@ -416,16 +599,16 @@ func (s *Server) handleBackbones(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.backbones.Add(1)
 	raw := r.URL.Query().Get("l")
 	if raw == "" {
-		writeError(w, http.StatusBadRequest, "missing query parameter l")
+		s.writeError(w, http.StatusBadRequest, "missing query parameter l")
 		return
 	}
 	l, err := strconv.Atoi(raw)
 	if err != nil || l < 1 {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("l must be a positive integer, got %q", raw))
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("l must be a positive integer, got %q", raw))
 		return
 	}
 	if l > s.maxLen {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("l %d exceeds this server's limit of %d", l, s.maxLen))
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("l %d exceeds this server's limit of %d", l, s.maxLen))
 		return
 	}
 	// A cache-miss backbones request materializes a Stage I level —
@@ -461,7 +644,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if levels == nil {
 		levels = []int{}
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{
+	s.writeJSON(w, http.StatusOK, HealthResponse{
 		Status:             "ok",
 		Graphs:             s.ix.NumGraphs(),
 		Sigma:              s.ix.Sigma(),

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -49,6 +50,11 @@ func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	if cfg.Index == nil {
 		cfg.Index = buildIndex(t)
+	}
+	// Quiet by default so benchmarks don't measure (and tests don't
+	// print) access-log lines; tests asserting on logs pass their own.
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
 	s, err := New(cfg)
 	if err != nil {

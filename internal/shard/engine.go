@@ -61,6 +61,7 @@ import (
 
 	"skinnymine/internal/core"
 	"skinnymine/internal/graph"
+	"skinnymine/internal/obs"
 )
 
 // stage1Runner produces one shard's Stage I candidates for one level
@@ -224,6 +225,16 @@ func (e *Engine) MineCtx(ctx context.Context, opt core.Options) (*core.Result, e
 	if opt.Support != e.sigma {
 		return nil, fmt.Errorf("core: index was built with support %d, request uses %d", e.sigma, opt.Support)
 	}
+	// One tracer serves the whole request: either the caller set it on
+	// the options, or it rides the context (the serving daemon's path).
+	// It is re-wrapped into ctx so the runner — and a remote runner's
+	// per-RPC spans — see the same trace. Observation only: output is
+	// byte-identical with tracing on and off.
+	if opt.Tracer == nil {
+		opt.Tracer = obs.FromContext(ctx)
+	}
+	tr := obs.Default(opt.Tracer)
+	ctx = obs.NewContext(ctx, tr)
 	var shardTime time.Duration
 	lo := opt.Length
 	if opt.MinLength > 0 {
@@ -236,10 +247,17 @@ func (e *Engine) MineCtx(ctx context.Context, opt core.Options) (*core.Result, e
 		for l := lo; l <= opt.Length; l++ {
 			lengths = append(lengths, l)
 		}
+		// Named stage1.shard, not stage1: the inner core engine opens its
+		// own "stage1" span over the (now cache-hitting) seed collection,
+		// and a trace with two identically named stage spans would be
+		// ambiguous to sum.
 		t0 := time.Now()
+		sp := tr.Start("stage1.shard").TagInt("shards", int64(len(e.assign)))
 		if err := e.preloadLevels(ctx, lengths, opt.Concurrency); err != nil {
+			sp.Tag("outcome", "error").End()
 			return nil, err
 		}
+		sp.End()
 		shardTime = time.Since(t0)
 	}
 	res, err := e.ix.Mine(opt)
@@ -327,6 +345,7 @@ func (e *Engine) materialize(ctx context.Context, l, workers int) error {
 	if _, ok := e.levels[l]; ok {
 		return nil
 	}
+	tr := obs.FromContext(ctx)
 	k := 1
 	for k*2 <= l {
 		k *= 2
@@ -338,31 +357,51 @@ func (e *Engine) materialize(ctx context.Context, l, workers int) error {
 		var parts [][]*core.PathPattern
 		var err error
 		if p == 1 {
+			sp := tr.Start("stage1.shard.edges").TagInt("level", 1)
 			parts, err = e.runShards(ctx, workers, func(ctx context.Context, s, w int) ([]*core.PathPattern, error) {
 				return e.runner.edges(ctx, s, w)
 			})
+			endShardSpan(sp, parts, err)
 		} else {
 			prev := e.local[p/2]
+			sp := tr.Start("stage1.shard.concat").TagInt("level", int64(p))
 			parts, err = e.runShards(ctx, workers, func(ctx context.Context, s, w int) ([]*core.PathPattern, error) {
 				return e.runner.concat(ctx, s, prev[s], w)
 			})
+			endShardSpan(sp, parts, err)
 		}
 		if err != nil {
 			return err
 		}
-		e.store(p, parts)
+		e.store(ctx, p, parts)
 	}
 	if l != k {
 		pool := e.local[k]
+		sp := tr.Start("stage1.shard.merge").TagInt("level", int64(l)).TagInt("base", int64(k))
 		parts, err := e.runShards(ctx, workers, func(ctx context.Context, s, w int) ([]*core.PathPattern, error) {
 			return e.runner.merge(ctx, s, pool[s], l, k, w)
 		})
+		endShardSpan(sp, parts, err)
 		if err != nil {
 			return err
 		}
-		e.store(l, parts)
+		e.store(ctx, l, parts)
 	}
 	return nil
+}
+
+// endShardSpan closes one level step's span with its candidate count
+// (summed across the shards) or its failure.
+func endShardSpan(sp *obs.Span, parts [][]*core.PathPattern, err error) {
+	if err != nil {
+		sp.Tag("outcome", "error").End()
+		return
+	}
+	n := 0
+	for _, part := range parts {
+		n += len(part)
+	}
+	sp.TagInt("candidates", int64(n)).End()
 }
 
 // runShards executes one level's candidate generation across the
@@ -409,9 +448,17 @@ func (e *Engine) runShards(ctx context.Context, workers int, run func(ctx contex
 }
 
 // store merges one level's per-shard candidates and caches both the
-// global level and the per-shard projections. Callers hold e.mu.
-func (e *Engine) store(l int, parts [][]*core.PathPattern) {
+// global level and the per-shard projections. The cross-shard recount
+// gets its own span: it is the coordinator-side cost a distributed
+// deployment cannot shard away. Callers hold e.mu.
+func (e *Engine) store(ctx context.Context, l int, parts [][]*core.PathPattern) {
+	in := 0
+	for _, part := range parts {
+		in += len(part)
+	}
+	sp := obs.FromContext(ctx).Start("stage1.shard.recount").TagInt("level", int64(l)).TagInt("candidates", int64(in))
 	global, local := mergeLevel(parts, e.sigma)
+	sp.TagInt("patterns", int64(len(global))).End()
 	e.levels[l] = global
 	e.local[l] = local
 }

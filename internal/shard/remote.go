@@ -10,10 +10,12 @@ import (
 	"net/url"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skinnymine/internal/core"
 	"skinnymine/internal/indexio"
+	"skinnymine/internal/obs"
 )
 
 // ErrUnavailable reports that a shard worker stayed unreachable past
@@ -74,6 +76,26 @@ type WorkerStatus struct {
 	Err     string `json:"err,omitempty"`
 }
 
+// WorkerRPCStats is one worker's cumulative RPC accounting since the
+// coordinator started: every candidate-RPC attempt issued to it, how
+// many were retries or hedges, the permanent-status tallies the
+// fault-injection suite asserts on, health flip count, and the RPC
+// latency histogram.
+type WorkerRPCStats struct {
+	Addr              string                `json:"addr"`
+	Shard             int                   `json:"shard"`
+	Healthy           bool                  `json:"healthy"`
+	LastErr           string                `json:"last_err,omitempty"`
+	Requests          int64                 `json:"requests"`
+	Retries           int64                 `json:"retries"`
+	Hedges            int64                 `json:"hedges"`
+	Errors            int64                 `json:"errors"`
+	Status409         int64                 `json:"status_409"`
+	Status503         int64                 `json:"status_503"`
+	HealthTransitions int64                 `json:"health_transitions"`
+	Latency           obs.HistogramSnapshot `json:"latency_ms"`
+}
+
 // RestoreRemote rebuilds an engine from a loaded sharded snapshot —
 // exactly like Restore, including every cached merged level — but
 // materializes NEW levels by scatter/gathering candidate generation
@@ -113,6 +135,19 @@ func (e *Engine) WorkerHealth() []WorkerStatus {
 	return nil
 }
 
+// WorkerRPCStats returns each worker's cumulative RPC accounting —
+// requests, retries, hedges, permanent-status tallies, health flips and
+// the RPC latency histogram — ordered by shard, or nil for an
+// in-process engine. The serving daemon exposes it as the /metrics
+// workers section.
+func (e *Engine) WorkerRPCStats() []WorkerRPCStats {
+	type statser interface{ rpcStats() []WorkerRPCStats }
+	if s, ok := e.runner.(statser); ok {
+		return s.rpcStats()
+	}
+	return nil
+}
+
 // remoteRunner implements stage1Runner over one HTTP worker per shard.
 // The runner owns the global↔shard-local graph-ID remap at the wire
 // boundary: assignment GIDs ascend within each shard, so the remap is
@@ -128,7 +163,8 @@ type remoteRunner struct {
 }
 
 // remoteWorker is the per-shard client state: address, pinned CRC, the
-// GID remap tables, and the advisory health flag.
+// GID remap tables, the advisory health flag, and the per-worker RPC
+// accounting surfaced by Engine.WorkerRPCStats.
 type remoteWorker struct {
 	addr     string
 	base     string  // normalized http://host:port
@@ -138,7 +174,21 @@ type remoteWorker struct {
 
 	mu      sync.Mutex
 	healthy bool
+	seen    bool // whether any health observation happened yet
 	lastErr string
+
+	// RPC accounting, atomics so the hot path never takes mu. requests
+	// counts every candidate-RPC attempt (probes excluded), retries the
+	// re-attempts after a retryable failure, hedges the duplicate RPCs
+	// raced against stragglers, errors the attempts that failed.
+	requests    atomic.Int64
+	retries     atomic.Int64
+	hedges      atomic.Int64
+	errors      atomic.Int64
+	status409   atomic.Int64
+	status503   atomic.Int64
+	transitions atomic.Int64 // healthy<->unhealthy flips (incl. the first observation)
+	rpcLat      *obs.Histogram
 }
 
 func newRemoteRunner(assign [][]int32, crcs []uint32, numLabels int, cfg RemoteConfig) *remoteRunner {
@@ -164,6 +214,7 @@ func newRemoteRunner(assign [][]int32, crcs []uint32, numLabels int, cfg RemoteC
 			crc:      fmt.Sprintf("%08x", crcs[s]),
 			toGlobal: gids,
 			toLocal:  make(map[int32]int32, len(gids)),
+			rpcLat:   obs.NewHistogram(nil),
 		}
 		for i, gid := range gids {
 			w.toLocal[gid] = int32(i)
@@ -225,6 +276,10 @@ func (r *remoteRunner) probeOnce(s int) {
 
 func (w *remoteWorker) setHealth(ok bool, msg string) {
 	w.mu.Lock()
+	if !w.seen || w.healthy != ok {
+		w.transitions.Add(1)
+	}
+	w.seen = true
 	w.healthy, w.lastErr = ok, msg
 	w.mu.Unlock()
 }
@@ -235,6 +290,30 @@ func (r *remoteRunner) health() []WorkerStatus {
 		w.mu.Lock()
 		out[s] = WorkerStatus{Addr: w.addr, Shard: s, Healthy: w.healthy, Err: w.lastErr}
 		w.mu.Unlock()
+	}
+	return out
+}
+
+func (r *remoteRunner) rpcStats() []WorkerRPCStats {
+	out := make([]WorkerRPCStats, len(r.workers))
+	for s, w := range r.workers {
+		w.mu.Lock()
+		healthy, lastErr := w.healthy, w.lastErr
+		w.mu.Unlock()
+		out[s] = WorkerRPCStats{
+			Addr:              w.addr,
+			Shard:             s,
+			Healthy:           healthy,
+			LastErr:           lastErr,
+			Requests:          w.requests.Load(),
+			Retries:           w.retries.Load(),
+			Hedges:            w.hedges.Load(),
+			Errors:            w.errors.Load(),
+			Status409:         w.status409.Load(),
+			Status503:         w.status503.Load(),
+			HealthTransitions: w.transitions.Load(),
+			Latency:           w.rpcLat.Snapshot(),
+		}
 	}
 	return out
 }
@@ -262,9 +341,30 @@ func (r *remoteRunner) merge(ctx context.Context, s int, pool []*core.PathPatter
 // reliability stack: per-attempt timeout, bounded retries with
 // exponential backoff, and straggler hedging. The request body is
 // encoded once (with GIDs remapped global→local) and reused across
-// attempts; the reply is decoded and remapped local→global.
-func (r *remoteRunner) call(ctx context.Context, s int, op string, l, m, workers int, in []*core.PathPattern) ([]*core.PathPattern, error) {
+// attempts; the reply is decoded and remapped local→global. One span
+// covers the whole logical call, tagged with its attempt/retry/hedge
+// counts and outcome — observation only, the control flow is untouched.
+func (r *remoteRunner) call(ctx context.Context, s int, op string, l, m, workers int, in []*core.PathPattern) (_ []*core.PathPattern, err error) {
 	w := r.workers[s]
+	sp := obs.FromContext(ctx).Start("worker.rpc").TagInt("shard", int64(s)).Tag("op", op)
+	if op == "merge" {
+		sp.TagInt("level", int64(l))
+	}
+	attempts, hedges := 0, 0
+	defer func() {
+		outcome := "ok"
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrUnavailable):
+			outcome = "unavailable"
+		case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+			outcome = "canceled"
+		default:
+			outcome = "error"
+		}
+		sp.TagInt("attempts", int64(attempts)).TagInt("retries", int64(max(attempts-1, 0))).
+			TagInt("hedges", int64(hedges)).Tag("outcome", outcome).End()
+	}()
 	var body []byte
 	if in != nil {
 		var buf bytes.Buffer
@@ -288,8 +388,13 @@ func (r *remoteRunner) call(ctx context.Context, s int, op string, l, m, workers
 			case <-time.After(backoff):
 			}
 			backoff *= 2
+			w.retries.Add(1)
 		}
-		ps, err := r.attempt(ctx, w, u, body)
+		attempts++
+		ps, hedged, err := r.attempt(ctx, w, u, body)
+		if hedged {
+			hedges++
+		}
 		if err == nil {
 			w.setHealth(true, "")
 			return ps, nil
@@ -313,12 +418,14 @@ func (r *remoteRunner) call(ctx context.Context, s int, op string, l, m, workers
 // attempt performs one logical try: a single RPC, plus — when hedging
 // is enabled and the primary has not answered within HedgeAfter — one
 // duplicate racing it. The first outcome wins; the loser's context is
-// canceled so the straggler stops costing the worker anything.
-func (r *remoteRunner) attempt(ctx context.Context, w *remoteWorker, u string, body []byte) ([]*core.PathPattern, error) {
+// canceled so the straggler stops costing the worker anything. The
+// second return reports whether a hedge was launched.
+func (r *remoteRunner) attempt(ctx context.Context, w *remoteWorker, u string, body []byte) ([]*core.PathPattern, bool, error) {
 	actx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
 	defer cancel()
 	if r.cfg.HedgeAfter <= 0 {
-		return r.rpc(actx, w, u, body)
+		ps, err := r.rpc(actx, w, u, body)
+		return ps, false, err
 	}
 	type outcome struct {
 		ps  []*core.PathPattern
@@ -341,16 +448,17 @@ func (r *remoteRunner) attempt(ctx context.Context, w *remoteWorker, u string, b
 			if !hedged {
 				hedged = true
 				pending++
+				w.hedges.Add(1)
 				go launch()
 			}
 		case o := <-results:
 			pending--
 			if o.err == nil {
-				return o.ps, nil // loser is abandoned; cancel() reaps it
+				return o.ps, hedged, nil // loser is abandoned; cancel() reaps it
 			}
 			var pe *permanentError
 			if errors.As(o.err, &pe) {
-				return nil, o.err
+				return nil, hedged, o.err
 			}
 			if firstErr == nil {
 				firstErr = o.err
@@ -358,11 +466,11 @@ func (r *remoteRunner) attempt(ctx context.Context, w *remoteWorker, u string, b
 			if !hedged && pending == 0 {
 				// Primary failed fast, before the hedge timer: fail the
 				// attempt rather than wait out the timer.
-				return nil, firstErr
+				return nil, hedged, firstErr
 			}
 		}
 	}
-	return nil, firstErr
+	return nil, hedged, firstErr
 }
 
 // permanentError marks worker replies retrying cannot fix: the request
@@ -371,8 +479,19 @@ type permanentError struct{ msg string }
 
 func (e *permanentError) Error() string { return e.msg }
 
-// rpc performs exactly one HTTP exchange and decodes the reply.
-func (r *remoteRunner) rpc(ctx context.Context, w *remoteWorker, u string, body []byte) ([]*core.PathPattern, error) {
+// rpc performs exactly one HTTP exchange and decodes the reply,
+// counting it (and its latency, outcome status) against the worker and
+// forwarding the request ID riding the context so one query is
+// greppable across the fleet.
+func (r *remoteRunner) rpc(ctx context.Context, w *remoteWorker, u string, body []byte) (_ []*core.PathPattern, err error) {
+	w.requests.Add(1)
+	t0 := time.Now()
+	defer func() {
+		w.rpcLat.Observe(time.Since(t0))
+		if err != nil {
+			w.errors.Add(1)
+		}
+	}()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -382,6 +501,9 @@ func (r *remoteRunner) rpc(ctx context.Context, w *remoteWorker, u string, body 
 		return nil, err
 	}
 	req.Header.Set(ShardCRCHeader, w.crc)
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/octet-stream")
 	}
@@ -394,6 +516,12 @@ func (r *remoteRunner) rpc(ctx context.Context, w *remoteWorker, u string, body 
 		resp.Body.Close()
 	}()
 	if resp.StatusCode != http.StatusOK {
+		switch resp.StatusCode {
+		case http.StatusConflict:
+			w.status409.Add(1)
+		case http.StatusServiceUnavailable:
+			w.status503.Add(1)
+		}
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		err := fmt.Errorf("worker answered HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
 		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {

@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"time"
 
 	"skinnymine/internal/core"
 	"skinnymine/internal/graph"
 	"skinnymine/internal/indexio"
+	"skinnymine/internal/obs"
 )
 
 // Worker HTTP protocol, served by one process per shard file:
@@ -50,6 +53,7 @@ type Worker struct {
 	sigma     int
 	crc       uint32
 	mux       *http.ServeMux
+	log       *slog.Logger
 }
 
 // WorkerInfo is the /shard/v1/info response body.
@@ -76,6 +80,7 @@ func NewWorker(graphs []*graph.Graph, numLabels, sigma int, crc uint32) (*Worker
 		sigma:     sigma,
 		crc:       crc,
 		mux:       http.NewServeMux(),
+		log:       slog.Default(),
 	}
 	for i := range w.gids {
 		w.gids[i] = int32(i)
@@ -84,6 +89,18 @@ func NewWorker(graphs []*graph.Graph, numLabels, sigma int, crc uint32) (*Worker
 	w.mux.HandleFunc(WorkerCandidatesPath, w.handleCandidates)
 	w.mux.HandleFunc("/healthz", w.handleInfo)
 	return w, nil
+}
+
+// SetLogger replaces the worker's structured logger (default:
+// slog.Default()). Call it before serving, not concurrently with
+// requests. Every candidate RPC is logged with its op, level
+// parameters, result size, duration and the coordinator's request ID
+// (echoed from the X-Request-Id header), so one query is greppable
+// across the whole fleet.
+func (w *Worker) SetLogger(l *slog.Logger) {
+	if l != nil {
+		w.log = l
+	}
 }
 
 // CRC returns the shard file checksum the worker pins requests to.
@@ -110,71 +127,87 @@ func (w *Worker) handleInfo(rw http.ResponseWriter, r *http.Request) {
 }
 
 func (w *Worker) handleCandidates(rw http.ResponseWriter, r *http.Request) {
+	// Echo the coordinator's request ID so one mining query is greppable
+	// coordinator-log → every worker log; every outcome below is logged
+	// with it.
+	reqID := r.Header.Get(obs.RequestIDHeader)
+	if reqID != "" {
+		rw.Header().Set(obs.RequestIDHeader, reqID)
+	}
+	t0 := time.Now()
+	op := r.URL.Query().Get("op")
+	fail := func(status int, msg string) {
+		w.log.Warn("candidates rejected", "op", op, "status", status, "err", msg, "request_id", reqID)
+		http.Error(rw, msg, status)
+	}
 	if r.Method != http.MethodPost {
-		http.Error(rw, "candidates requests are POST", http.StatusMethodNotAllowed)
+		fail(http.StatusMethodNotAllowed, "candidates requests are POST")
 		return
 	}
 	if got := r.Header.Get(ShardCRCHeader); got != fmt.Sprintf("%08x", w.crc) {
 		// Permanent: the coordinator is talking to the wrong shard (or a
 		// stale generation). Retrying cannot help; say so with a 409.
-		http.Error(rw, fmt.Sprintf("shard CRC mismatch: this worker serves %08x, request pins %q", w.crc, got), http.StatusConflict)
+		fail(http.StatusConflict, fmt.Sprintf("shard CRC mismatch: this worker serves %08x, request pins %q", w.crc, got))
 		return
 	}
 	q := r.URL.Query()
 	workers, err := queryInt(q.Get("workers"), 1)
 	if err != nil {
-		http.Error(rw, "bad workers parameter: "+err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, "bad workers parameter: "+err.Error())
 		return
 	}
 	st, err := core.NewShardStage1(w.graphs, w.gids)
 	if err != nil {
-		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		fail(http.StatusInternalServerError, err.Error())
 		return
 	}
 	var out []*core.PathPattern
-	switch op := q.Get("op"); op {
+	switch op {
 	case "edges":
 		out = st.EdgeCandidates()
 	case "concat":
 		prev, err := w.readLevel(r)
 		if err != nil {
-			http.Error(rw, err.Error(), http.StatusBadRequest)
+			fail(http.StatusBadRequest, err.Error())
 			return
 		}
 		out = st.ConcatCandidates(prev, workers)
 	case "merge":
 		l, err := queryInt(q.Get("l"), 0)
 		if err != nil {
-			http.Error(rw, "bad l parameter: "+err.Error(), http.StatusBadRequest)
+			fail(http.StatusBadRequest, "bad l parameter: "+err.Error())
 			return
 		}
 		m, err := queryInt(q.Get("m"), 0)
 		if err != nil {
-			http.Error(rw, "bad m parameter: "+err.Error(), http.StatusBadRequest)
+			fail(http.StatusBadRequest, "bad m parameter: "+err.Error())
 			return
 		}
 		if m < 1 || l <= m || l >= 2*m {
-			http.Error(rw, fmt.Sprintf("merge requires m < l < 2m, got l=%d m=%d", l, m), http.StatusBadRequest)
+			fail(http.StatusBadRequest, fmt.Sprintf("merge requires m < l < 2m, got l=%d m=%d", l, m))
 			return
 		}
 		pool, err := w.readLevel(r)
 		if err != nil {
-			http.Error(rw, err.Error(), http.StatusBadRequest)
+			fail(http.StatusBadRequest, err.Error())
 			return
 		}
 		out = st.MergeCandidates(pool, l, m, workers)
 	default:
-		http.Error(rw, fmt.Sprintf("unknown op %q", op), http.StatusBadRequest)
+		fail(http.StatusBadRequest, fmt.Sprintf("unknown op %q", op))
 		return
 	}
 	var buf bytes.Buffer
 	if err := indexio.SaveLevel(&buf, out); err != nil {
-		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		fail(http.StatusInternalServerError, err.Error())
 		return
 	}
 	rw.Header().Set("Content-Type", "application/octet-stream")
 	rw.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	rw.Write(buf.Bytes())
+	w.log.Info("candidates served", "op", op, "workers", workers,
+		"patterns", len(out), "bytes", buf.Len(),
+		"dur_ms", float64(time.Since(t0).Microseconds())/1000, "request_id", reqID)
 }
 
 // readLevel decodes the posted level set and range-checks every

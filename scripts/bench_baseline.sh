@@ -26,7 +26,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr5.json}
+OUT=${1:-BENCH_pr7.json}
 BENCHTIME=${BENCHTIME:-1x}
 BENCH_RE=${BENCH_RE:-'^BenchmarkMine(Concurrency|Constrained|Sharded)'}
 BENCH_SERVER_RE=${BENCH_SERVER_RE:-'^BenchmarkServer(Sequential|Batch)'}

@@ -11,7 +11,13 @@
 # coordinator, diffs the output byte-for-byte against the in-process
 # CLI, kills a worker (expecting cached levels to keep serving and
 # deeper requests to fail with a clean 503), and restarts it
-# (expecting full recovery). Requires curl and jq.
+# (expecting full recovery). Observability checks ride along: request
+# IDs are generated/echoed and greppable from the coordinator's access
+# log through every worker's candidates log, /metrics carries the 404
+# counter and latency histograms (plus per-worker RPC counters on a
+# coordinator), ?trace=1 returns spans without changing the result,
+# and ?format=prom renders the Prometheus exposition. Requires curl
+# and jq.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -160,6 +166,39 @@ diff <(jq -S "$norm" "$workdir/served.json") \
      <(jq -S ".results[3].result | $norm" "$workdir/batch.json") \
   || { echo "FAIL: batched result differs from /v1/mine's"; exit 1; }
 
+echo "== observability: request IDs, 404 accounting, latency histograms"
+rid=$(curl -sf -o /dev/null -D - "$base/healthz" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-request-id"{print $2}')
+[ -n "$rid" ] || { echo "FAIL: no X-Request-Id generated"; exit 1; }
+rid=$(curl -sf -H 'X-Request-Id: smoke-echo-check' -o /dev/null -D - "$base/healthz" \
+  | tr -d '\r' | awk -F': ' 'tolower($1)=="x-request-id"{print $2}')
+[ "$rid" = "smoke-echo-check" ] || { echo "FAIL: request ID not echoed, got '$rid'"; exit 1; }
+curl -s -o /dev/null "$base/no/such/path"
+curl -sf "$base/metrics" > "$workdir/metrics3.json"
+jq -e '.requests_total.not_found >= 1
+       and .mine.latency_ms.count == .mine.latency_count
+       and (.mine.latency_ms.buckets | length) > 0
+       and .admission_wait_ms.count >= .mine.latency_count
+       and (.mine | has("slow_queries"))' "$workdir/metrics3.json" > /dev/null \
+  || { echo "FAIL: observability metrics say $(cat "$workdir/metrics3.json")"; exit 1; }
+
+echo "== ?trace=1 returns spans and an unchanged result"
+curl -sf "$base/v1/mine?trace=1" -d '{"length":4,"delta":1}' > "$workdir/trace.json"
+jq -e '.request_id != "" and .total_ms > 0
+       and ([.spans[].name] | (index("stage1") != null and index("stage2") != null))' \
+  "$workdir/trace.json" > /dev/null \
+  || { echo "FAIL: trace response says $(cat "$workdir/trace.json" | jq '{request_id,total_ms,spans:[.spans[].name]}')"; exit 1; }
+diff <(jq "$norm" "$workdir/served.json") <(jq ".result | $norm" "$workdir/trace.json") \
+  || { echo "FAIL: traced result differs from the untraced one"; exit 1; }
+
+echo "== Prometheus text exposition"
+curl -sf "$base/metrics?format=prom" > "$workdir/prom.txt"
+grep -q '^skinnymine_mine_runs_total ' "$workdir/prom.txt" \
+  || { echo "FAIL: prom exposition lacks mine_runs_total"; exit 1; }
+grep -q 'skinnymine_mine_latency_ms_bucket{le="+Inf"}' "$workdir/prom.txt" \
+  || { echo "FAIL: prom exposition lacks the latency histogram"; exit 1; }
+grep -q 'skinnymine_requests_total{endpoint="mine"}' "$workdir/prom.txt" \
+  || { echo "FAIL: prom exposition lacks per-endpoint request counters"; exit 1; }
+
 echo "== /v1/backbones serves Stage I patterns"
 curl -sf "$base/v1/backbones?l=4" | jq -e '.count >= 1' > /dev/null \
   || { echo "FAIL: no backbones served"; exit 1; }
@@ -279,6 +318,33 @@ curl -sf "$basec/v1/mine" -d '{"length":3,"delta":1}' > "$workdir/dist-l3.json" 
   || { echo "FAIL: request still failing after worker recovery"; exit 1; }
 diff <(jq "$norm" "$workdir/db-l3.json") <(jq "$norm" "$workdir/dist-l3.json") \
   || { echo "FAIL: post-recovery distributed result differs from the CLI's"; exit 1; }
+
+echo "== request ID flows coordinator -> worker logs"
+# Level 5 is not materialized yet, so this request must fan out to the
+# fleet — the supplied ID has to appear in the coordinator's access line
+# AND in each worker's candidates line.
+curl -sf -H 'X-Request-Id: smoke-dist-rid' "$basec/v1/mine" -d '{"length":5,"delta":1}' > /dev/null \
+  || { echo "FAIL: level-5 request failed"; exit 1; }
+for i in $(seq 1 20); do
+  if grep -q smoke-dist-rid "$workdir/coord.log" \
+     && grep -q smoke-dist-rid "$workdir/worker0.log" \
+     && grep -q smoke-dist-rid "$workdir/worker1b.log"; then
+    break
+  fi
+  sleep 0.1
+done
+grep -q smoke-dist-rid "$workdir/coord.log" \
+  || { echo "FAIL: request ID missing from the coordinator log"; exit 1; }
+grep -q smoke-dist-rid "$workdir/worker0.log" \
+  || { echo "FAIL: request ID missing from worker 0's log"; exit 1; }
+grep -q smoke-dist-rid "$workdir/worker1b.log" \
+  || { echo "FAIL: request ID missing from worker 1's log"; exit 1; }
+
+echo "== coordinator /metrics exposes per-worker RPC counters"
+curl -sf "$basec/metrics" > "$workdir/metricsc.json"
+jq -e '(.workers | length) == 2 and ([.workers[].requests] | add) > 0
+       and ([.workers[].latency_ms.count] | add) > 0' "$workdir/metricsc.json" > /dev/null \
+  || { echo "FAIL: coordinator worker metrics say $(jq '.workers' "$workdir/metricsc.json")"; exit 1; }
 
 echo "== graceful shutdown"
 kill -TERM "$coord_pid"

@@ -240,6 +240,12 @@ type Options struct {
 	// MineDB honor the field; an Index is sharded (or not) at build
 	// time via BuildShardedIndex, and Index.Mine ignores it.
 	Shards int
+	// Trace, when non-nil, records per-stage spans for this request:
+	// Stage I candidate generation per level, the cross-shard support
+	// recount, Stage II growth, and worker RPCs on a distributed index.
+	// Tracing never changes the mined bytes — only what is visible
+	// about the run. See NewTrace.
+	Trace *Trace
 }
 
 func (o Options) measure() support.Measure {
@@ -257,6 +263,9 @@ func (o Options) toCore() core.Options {
 	opt.MaxPatterns = o.MaxPatterns
 	opt.Concurrency = o.Concurrency
 	opt.Measure = o.measure()
+	if o.Trace != nil {
+		opt.Tracer = o.Trace.t
+	}
 	return opt
 }
 
