@@ -1,0 +1,88 @@
+// Command skinnylint runs the repo's invariant-enforcing static
+// analyzers (internal/lint) over a set of packages and exits non-zero
+// on any finding. It is the gating CI companion to `go vet`: vet
+// catches general Go mistakes, skinnylint rejects code shapes that
+// violate this repo's documented invariants (deterministic output,
+// no-trusted-allocation decoding, context propagation, atomic access
+// discipline, allocation-free hot paths).
+//
+// Usage:
+//
+//	skinnylint [-analyzers a,b,...] [-list] [packages...]
+//
+// Packages default to ./... and accept any `go list` pattern. Each
+// analyzer gates on the packages whose invariant it encodes (see
+// -list); suppressions use //lint:allow <analyzer> <reason> on or
+// directly above the flagged line, and the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"skinnymine/internal/lint"
+)
+
+func main() {
+	listOnly := flag.Bool("list", false, "list the analyzers and the packages they gate on, then exit")
+	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: skinnylint [flags] [packages...]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *listOnly {
+		for _, a := range analyzers {
+			scope := "all packages"
+			if len(a.Packages) > 0 {
+				scope = strings.Join(a.Packages, ", ")
+			}
+			fmt.Printf("%-14s %s\n%14s   gates on: %s\n", a.Name, a.Doc, "", scope)
+		}
+		return
+	}
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var selected []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				selected = append(selected, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "skinnylint: unknown analyzer %q (see -list)\n", name)
+			os.Exit(2)
+		}
+		analyzers = selected
+	}
+
+	patterns := flag.Args()
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skinnylint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, analyzers, true)
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if wd != "" {
+			if rel, ok := strings.CutPrefix(name, wd+string(os.PathSeparator)); ok {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "skinnylint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

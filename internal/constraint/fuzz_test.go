@@ -1,0 +1,42 @@
+package constraint
+
+import "testing"
+
+// FuzzParseConstraintCanonical pins the canonicalization contract the
+// serving daemon's cache key rests on: for any source that parses, the
+// canonical rendering must itself parse, and must be a fixed point —
+// Parse(c.String()).String() == c.String(). If canonicalization ever
+// produced a string the parser rejects (or renders differently on the
+// second pass), semantically equal requests would stop sharing cache
+// entries, or worse, a stored constraint would fail to load back.
+func FuzzParseConstraintCanonical(f *testing.F) {
+	for _, seed := range []string{
+		"contains(label='A')",
+		"vertices<=8",
+		"  vertices \t<= 8 ",
+		"vertices<=8&&edges>2",
+		"!contains(label='C')",
+		"!(vertices>=3 || edges>=9)",
+		"(vertices<=8)&&(skinniness<=1||support>=4)",
+		"topk(10, by=support)",
+		"vertices<=8 && topk(3, by=size)",
+		`contains(label="it's")`,
+		"support >= 2 || support <= 1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(src)
+		if err != nil {
+			return // rejecting junk is fine; crashing or mis-canonicalizing is not
+		}
+		s1 := c.String()
+		c2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", s1, src, err)
+		}
+		if s2 := c2.String(); s2 != s1 {
+			t.Fatalf("canonicalization is not a fixed point for %q: %q -> %q", src, s1, s2)
+		}
+	})
+}

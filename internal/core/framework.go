@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"skinnymine/internal/graph"
@@ -200,6 +201,18 @@ func (ix *DirectIndex) Concurrency() int { return ix.dm.Concurrency() }
 // MinimalPatterns returns the minimal constraint-satisfying patterns for
 // diameter length l (the frequent paths of that length).
 func (ix *DirectIndex) MinimalPatterns(l int) ([]*PathPattern, error) {
+	return ix.MinimalPatternsCtx(context.Background(), l)
+}
+
+// MinimalPatternsCtx is MinimalPatterns honoring request cancellation:
+// an already-cancelled context returns before any materialization work
+// starts. Level materialization itself is an indivisible cached
+// computation — once begun its bytes are identical for every caller —
+// so cancellation is only observed at the boundary.
+func (ix *DirectIndex) MinimalPatternsCtx(ctx context.Context, l int) ([]*PathPattern, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return ix.dm.Mine(l)
 }
 

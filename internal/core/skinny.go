@@ -223,24 +223,36 @@ type codeSet struct {
 	shards [codeShards]codeShard
 }
 
+// dedupKey is a comparable (claimed diameter length, canonical code)
+// pair. Keying the map on the struct instead of a concatenated string
+// saves two allocations per dedup probe — the length-prefix slice and
+// the joined string — on a path that runs once per generated pattern.
+type dedupKey struct {
+	diamLen int32
+	code    string
+}
+
 // codeShard is padded to a cache line so adjacent stripes don't false-
 // share under concurrent inserts.
 type codeShard struct {
 	mu sync.Mutex
-	m  map[string]struct{}
+	m  map[dedupKey]struct{}
 	_  [64 - 16]byte
 }
 
 func newCodeSet() *codeSet {
 	c := &codeSet{}
 	for i := range c.shards {
-		c.shards[i].m = make(map[string]struct{})
+		c.shards[i].m = make(map[dedupKey]struct{})
 	}
 	return c
 }
 
-func (c *codeSet) insert(key string) bool {
-	s := &c.shards[fnv1a(key)%codeShards]
+func (c *codeSet) insert(key dedupKey) bool {
+	// The stripe choice only spreads lock contention; folding the
+	// length into the code hash keeps same-code/different-length keys
+	// apart without re-materializing a combined string.
+	s := &c.shards[(fnv1a(key.code)^uint32(key.diamLen))%codeShards]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.m[key]; dup {
@@ -346,6 +358,7 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 	// stored on the shared miner — so concurrent requests against a
 	// warmed index stay race-free.
 	tr := obs.Default(opt.Tracer)
+	//lint:allow hotalloc stage-boundary timestamp, taken once per Mine call
 	t0 := time.Now()
 	sp1 := tr.Start("stage1")
 	var seeds []*PathPattern
@@ -381,6 +394,7 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 	// Stage II: grow each canonical diameter level by level, one seed's
 	// cluster per task. Workers share the miner: the dedup set is
 	// striped, counters are atomic, and everything else is read-only.
+	//lint:allow hotalloc stage-boundary timestamp, taken once per Mine call
 	t1 := time.Now()
 	sp2 := tr.Start("stage2").TagInt("seeds", int64(len(seeds)))
 	maxDelta := opt.Delta
@@ -506,7 +520,7 @@ func (m *miner) growSeed(pp *PathPattern, maxDelta int, sc *growScratch) []*Patt
 // the determinism guarantee (see the package doc).
 func (m *miner) dedup(p *Pattern) bool {
 	p.codeKey = dfscode.MinCodeKey(p.G)
-	return m.codes.insert(string(append4(nil, p.DiamLen)) + p.codeKey)
+	return m.codes.insert(dedupKey{diamLen: p.DiamLen, code: p.codeKey})
 }
 
 // rejectPushdown applies the Stage II pushdown hook to a candidate

@@ -59,6 +59,7 @@ func MinCode(g *graph.Graph) Code {
 		}
 		if !haveBest {
 			// Cannot happen for connected graphs; guard for safety.
+			//lint:allow hotalloc panic guard, unreachable for connected graphs
 			panic(fmt.Sprintf("dfscode: no extension at step %d of %d", len(code), m))
 		}
 		var next []*traversal
@@ -85,6 +86,7 @@ func MinCodeKey(g *graph.Graph) string {
 				min = g.Label(graph.V(v))
 			}
 		}
+		//lint:allow hotalloc edgeless single-vertex fallback, off the mining hot path
 		return fmt.Sprintf("v%d/%d", min, g.N())
 	}
 	return MinCode(g).Key()

@@ -182,7 +182,7 @@ func Load(r io.Reader) (core.IndexState, *graph.LabelTable, error) {
 		if n > maxLabelLen {
 			return st, nil, fmt.Errorf("indexio: label %d length %d exceeds %d", i, n, maxLabelLen)
 		}
-		buf := make([]byte, n)
+		buf := make([]byte, min(n, maxLabelLen))
 		if _, err := io.ReadFull(sr, buf); err != nil {
 			return st, nil, fmt.Errorf("indexio: reading label %d: %w", i, clean(err))
 		}
@@ -260,7 +260,7 @@ func Load(r io.Reader) (core.IndexState, *graph.LabelTable, error) {
 		}
 		ps := make([]*core.PathPattern, 0, allocHint(nPat))
 		for pi := 0; pi < nPat; pi++ {
-			p := &core.PathPattern{Seq: make([]graph.Label, l+1)}
+			p := &core.PathPattern{Seq: make([]graph.Label, min(l, maxLevelLen)+1)}
 			for j := range p.Seq {
 				lab, err := sr.count("pattern label")
 				if err != nil {
@@ -284,7 +284,7 @@ func Load(r io.Reader) (core.IndexState, *graph.LabelTable, error) {
 				if err != nil {
 					return st, nil, err
 				}
-				seq := make(graph.Path, l+1)
+				seq := make(graph.Path, min(l, maxLevelLen)+1)
 				for j := range seq {
 					v, err := sr.count("embedding vertex")
 					if err != nil {

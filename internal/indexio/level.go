@@ -105,13 +105,14 @@ func LoadLevel(r io.Reader, numLabels, numGraphs int) ([]*core.PathPattern, erro
 	if ver != levelVersion {
 		return nil, fmt.Errorf("indexio: level version %d, this build reads version %d", ver, levelVersion)
 	}
-	seqLen, err := sr.count("level sequence length")
+	rawLen, err := sr.count("level sequence length")
 	if err != nil {
 		return nil, err
 	}
-	if seqLen > maxLevelLen {
-		return nil, fmt.Errorf("indexio: level sequence length %d exceeds %d", seqLen, maxLevelLen)
+	if rawLen > maxLevelLen {
+		return nil, fmt.Errorf("indexio: level sequence length %d exceeds %d", rawLen, maxLevelLen)
 	}
+	seqLen := min(rawLen, maxLevelLen)
 	nPat, err := sr.count("level pattern count")
 	if err != nil {
 		return nil, err

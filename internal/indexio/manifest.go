@@ -197,7 +197,7 @@ func LoadManifest(r io.Reader) (Manifest, error) {
 		if n > maxShardName {
 			return m, fmt.Errorf("indexio: shard %d name length %d exceeds %d", i, n, maxShardName)
 		}
-		buf := make([]byte, n)
+		buf := make([]byte, min(n, maxShardName))
 		if _, err := io.ReadFull(sr, buf); err != nil {
 			return m, fmt.Errorf("indexio: reading shard %d name: %w", i, clean(err))
 		}

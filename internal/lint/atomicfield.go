@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField catches the metrics/histogram bug class: a struct field
+// updated through sync/atomic functions in one place and read or
+// written plainly in another. Mixed access is a data race the race
+// detector only sees when both sides happen to run — this analyzer
+// sees it whenever both shapes exist. Within one package it collects
+// every field passed as &x.f to a sync/atomic function, then flags
+// every other access to the same field that does not go through
+// sync/atomic. Composite-literal initialization before publication is
+// the one conventionally safe plain access and stays silent; the
+// durable fix is the typed atomic.Int64-style API, which makes plain
+// access unrepresentable.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "struct field accessed both atomically and plainly",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(p *Pass) {
+	atomicUses := make(map[*types.Var][]*ast.SelectorExpr)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := isPkgCall(p.Info, call, "sync/atomic"); !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldOf(p, sel); fv != nil {
+					atomicUses[fv] = append(atomicUses[fv], sel)
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicUses) == 0 {
+		return
+	}
+	blessed := make(map[*ast.SelectorExpr]bool)
+	for _, sels := range atomicUses {
+		for _, sel := range sels {
+			blessed[sel] = true
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || blessed[sel] {
+				return true
+			}
+			fv := fieldOf(p, sel)
+			if fv == nil {
+				return true
+			}
+			if _, atomic := atomicUses[fv]; atomic {
+				p.Reportf(sel.Sel.Pos(), "field %s is accessed through sync/atomic elsewhere but plainly here; every access must be atomic (use the typed atomic.%s API)", fv.Name(), suggestedAtomicType(fv))
+			}
+			return true
+		})
+	}
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil.
+func fieldOf(p *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+func suggestedAtomicType(fv *types.Var) string {
+	if b, ok := fv.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		}
+	}
+	return "Value"
+}

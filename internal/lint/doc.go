@@ -1,0 +1,57 @@
+// Package lint is the repo's invariant-enforcing static-analysis
+// suite: five analyzers that turn the correctness properties
+// ARCHITECTURE.md documents — and the refguard tests pin
+// probabilistically — into deterministic build-time checks, run as a
+// gating CI step via cmd/skinnylint.
+//
+// # Why a custom suite
+//
+// The engine's guarantees (byte-identical output at any concurrency or
+// shard count, no-trusted-allocation snapshot decoding, end-to-end
+// context propagation, allocation-free hot paths) are invariants of
+// the *code shape*, not just of its behavior: a `range` over a map
+// that appends into a result slice is wrong even if today's inputs
+// happen to iterate in a lucky order. Randomized refguards only catch
+// the violations their inputs exercise; these analyzers reject the
+// pattern itself.
+//
+// # Analyzers
+//
+//   - mapiter: in the deterministic-output packages (core, shard,
+//     constraint, dfscode), a range over a map whose body appends to
+//     or sends into state that outlives the loop must be followed by a
+//     deterministic sort in the same function.
+//   - trustedalloc: in indexio, every make() size/capacity that is not
+//     a compile-time constant or a len/cap of in-memory data must flow
+//     through a clamp (allocHint or the min builtin) — decoded wire
+//     counts are never trusted for allocation.
+//   - ctxflow: in the serving packages (server, shard), no
+//     context.Background/context.TODO on request paths, and no
+//     function that accepts a ctx it silently drops.
+//   - atomicfield: a struct field accessed through sync/atomic
+//     functions anywhere must be accessed through sync/atomic
+//     everywhere (or ported to the atomic.Int64-style typed API).
+//   - hotalloc: in the hot-path packages (core, dfscode, support), no
+//     fmt.Sprint*, time.Now, or non-constant string concatenation
+//     outside String/Name/Error display methods.
+//
+// # The //lint:allow escape hatch
+//
+// A justified exception is annotated on (or on the line above) the
+// flagged line:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory: an allow directive without one is itself a
+// diagnostic. Directives are scoped to a single line so an exception
+// never silently covers new code.
+//
+// # How loading works
+//
+// The suite deliberately depends only on the standard library: Load
+// shells out to `go list -json -deps -export`, parses the target
+// packages' sources, and type-checks them against the build cache's
+// export data via go/importer's gc lookup mode — the same mechanism
+// `go vet`'s unitchecker uses. Analyzers therefore see full type
+// information without golang.org/x/tools.
+package lint

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc guards the PR 3 de-allocation work: the Stage I/II hot
+// paths were rebuilt on arenas, epoch-stamped scratch and columnar
+// embeddings precisely to get fmt formatting, string materialization
+// and timestamp syscalls out of the per-candidate cost. In the
+// hot-path packages it flags fmt.Sprint*/fmt.Append* calls, time.Now,
+// and non-constant string concatenation. Display methods (String,
+// Name, Error, GoString) are exempt — they are debug/reporting
+// surfaces, never on the mining path. Deliberate exceptions (a
+// stage-boundary timestamp taken once per mine, not per candidate)
+// carry //lint:allow hotalloc with the justification.
+var HotAlloc = &Analyzer{
+	Name:     "hotalloc",
+	Doc:      "allocation or timestamp primitives in hot-path packages",
+	Packages: []string{"internal/core", "internal/dfscode", "internal/support"},
+	Run:      runHotAlloc,
+}
+
+// displayMethods never run on the mining path.
+var displayMethods = map[string]bool{"String": true, "Name": true, "Error": true, "GoString": true}
+
+var hotFmtFuncs = []string{"Sprint", "Sprintf", "Sprintln", "Append", "Appendf", "Appendln"}
+
+func runHotAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, fn := range funcsOf(f) {
+			if displayMethods[fn.name] {
+				continue
+			}
+			runHotAllocFunc(p, fn)
+		}
+	}
+}
+
+func runHotAllocFunc(p *Pass, fn funcNode) {
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := isPkgCall(p.Info, n, "fmt", hotFmtFuncs...); ok {
+				p.Reportf(n.Pos(), "fmt.%s allocates on a hot path; build into a reused buffer, or annotate //lint:allow hotalloc <reason>", name)
+			}
+			if _, ok := isPkgCall(p.Info, n, "time", "Now"); ok {
+				p.Reportf(n.Pos(), "time.Now on a hot path; hoist the timestamp to the stage boundary, or annotate //lint:allow hotalloc <reason>")
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.ADD {
+				return true
+			}
+			tv, ok := p.Info.Types[n]
+			if !ok || tv.Value != nil {
+				return true // non-expression or compile-time constant
+			}
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				p.Reportf(n.OpPos, "string concatenation allocates on a hot path; use a byte arena or reused buffer, or annotate //lint:allow hotalloc <reason>")
+			}
+		}
+		return true
+	})
+}

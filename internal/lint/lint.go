@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer encodes one invariant as a check over a type-checked
+// package. Run reports findings through the Pass; suppression via
+// //lint:allow and package gating are the framework's job, not the
+// analyzer's.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Packages lists the import-path suffixes the analyzer gates on
+	// when run through cmd/skinnylint; empty means every package. The
+	// fixture tests bypass gating so analyzers stay testable outside
+	// their production packages.
+	Packages []string
+	Run      func(*Pass)
+}
+
+// AppliesTo reports whether the analyzer gates on the given import
+// path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, suffix := range a.Packages {
+		if pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapIter, TrustedAlloc, CtxFlow, AtomicField, HotAlloc}
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding unless an in-scope //lint:allow directive
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.Pkg.allowed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-safe Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Run applies the analyzers to the packages. When gate is true (the
+// cmd/skinnylint path) each analyzer sees only the packages it gates
+// on; the fixture harness passes false. Malformed allow directives are
+// reported regardless of analyzer selection, and the result is sorted
+// by position for deterministic output.
+func Run(pkgs []*Package, analyzers []*Analyzer, gate bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, pkg.directiveDiagnostics()...)
+		for _, a := range analyzers {
+			if gate && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// allowPrefix introduces a suppression directive. The format is
+// //lint:allow <analyzer> <reason>; the reason is mandatory.
+const allowPrefix = "//lint:allow"
+
+type allowDirective struct {
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+// collectAllows scans every file's comments once; directives are
+// keyed by file base name.
+func collectAllows(p *Package) map[string][]allowDirective {
+	out := make(map[string][]allowDirective)
+	for _, f := range p.Files {
+		filename := p.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				out[filename] = append(out[filename], allowDirective{
+					line:     p.Fset.Position(c.Pos()).Line,
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// allowed reports whether a directive for the analyzer covers the
+// position: same line, or the line directly above (a directive on its
+// own line annotates the statement below it). Directives without a
+// reason never suppress — they are themselves findings.
+func (p *Package) allowed(analyzer string, pos token.Position) bool {
+	for _, d := range p.allows[pos.Filename] {
+		if d.analyzer != analyzer || d.reason == "" {
+			continue
+		}
+		if d.line == pos.Line || d.line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveDiagnostics flags malformed allow directives: a missing
+// reason or an analyzer name not in the suite.
+func (p *Package) directiveDiagnostics() []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, ds := range p.allows {
+		for _, d := range ds {
+			switch {
+			case d.analyzer == "" || d.reason == "":
+				out = append(out, Diagnostic{
+					Pos:      p.Fset.Position(d.pos),
+					Analyzer: "allow",
+					Message:  "allow directive needs an analyzer name and a reason: //lint:allow <analyzer> <reason>",
+				})
+			case !known[d.analyzer]:
+				out = append(out, Diagnostic{
+					Pos:      p.Fset.Position(d.pos),
+					Analyzer: "allow",
+					Message:  fmt.Sprintf("allow directive names unknown analyzer %q", d.analyzer),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// funcsOf yields every function with a body in the file — declarations
+// and literals — paired so analyzers can reason per function without
+// double-visiting nested literals.
+type funcNode struct {
+	name string // declared name; "" for literals
+	typ  *ast.FuncType
+	body *ast.BlockStmt
+}
+
+func funcsOf(f *ast.File) []funcNode {
+	var out []funcNode
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, funcNode{name: fn.Name.Name, typ: fn.Type, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcNode{typ: fn.Type, body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// inspectShallow walks the statements of body but does not descend
+// into nested function literals — those are separate functions with
+// their own pass.
+func inspectShallow(body ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n != body {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// exprString renders an expression back to source for diagnostics.
+func exprString(p *Pass, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, p.Fset, e); err != nil {
+		return "size"
+	}
+	return buf.String()
+}
+
+// isPkgCall reports whether call is pkg.name(...) for an imported
+// package with the given path, resolving the qualifier through the
+// type info (so renamed imports still match).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	for _, name := range names {
+		if sel.Sel.Name == name {
+			return name, true
+		}
+	}
+	return sel.Sel.Name, len(names) == 0
+}

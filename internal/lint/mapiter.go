@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter enforces the byte-identical-output invariant at its most
+// common failure point: Go map iteration order is randomized, so a
+// `range` over a map that appends to (or sends into) state outliving
+// the loop produces a different order every run unless the function
+// sorts afterwards. In the deterministic-output packages that is
+// exactly the bug class the refguard tests exist to catch — this
+// analyzer rejects the shape itself.
+//
+// A loop is flagged when its body accumulates into a slice declared
+// outside the loop, a field, or a channel, and no call into the sort
+// or slices package follows the loop in the same function. Writes
+// keyed by the map key (m2[k] = v) are order-independent and stay
+// silent.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "range over a map feeding an ordered result without a deterministic sort",
+	Packages: []string{
+		"internal/core", "internal/shard", "internal/constraint", "internal/dfscode",
+	},
+	Run: runMapIter,
+}
+
+func runMapIter(p *Pass) {
+	for _, f := range p.Files {
+		for _, fn := range funcsOf(f) {
+			runMapIterFunc(p, fn)
+		}
+	}
+}
+
+func runMapIterFunc(p *Pass, fn funcNode) {
+	var ranges []*ast.RangeStmt
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			if t := p.TypeOf(rs.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					ranges = append(ranges, rs)
+				}
+			}
+		}
+		return true
+	})
+	for _, rs := range ranges {
+		accPos := accumulationInto(p, rs)
+		if !accPos.IsValid() {
+			continue
+		}
+		if sortFollows(p, fn, rs) {
+			continue
+		}
+		p.Reportf(accPos, "result accumulated in map iteration order with no deterministic sort after the loop; sort the keys first, sort the result, or annotate //lint:allow mapiter <reason>")
+	}
+}
+
+// accumulationInto returns the position of the first ordered
+// accumulation inside the range body: an append whose base outlives
+// the loop, or a channel send.
+func accumulationInto(p *Pass, rs *ast.RangeStmt) token.Pos {
+	var pos token.Pos
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pos = n.Arrow
+			return false
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok || len(n.Args) == 0 {
+				return true
+			}
+			if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+				return true
+			}
+			if outlivesLoop(p, n.Args[0], rs) {
+				pos = n.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return pos
+}
+
+// outlivesLoop reports whether the append base survives past the
+// range statement: a variable declared before the loop, a struct
+// field, or an indexed element of something non-local. A slice
+// created inside the loop body is loop-local; appending to it is
+// order-safe on its own. An element indexed by the range KEY
+// (out[k] = append(out[k], ...)) is also safe: the writes partition
+// by key, so each partition's order is independent of which key the
+// iteration visits first.
+func outlivesLoop(p *Pass, base ast.Expr, rs *ast.RangeStmt) bool {
+	switch e := base.(type) {
+	case *ast.Ident:
+		obj := p.Info.ObjectOf(e)
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		return !indexedByRangeKey(p, e, rs)
+	case *ast.ParenExpr:
+		return outlivesLoop(p, e.X, rs)
+	}
+	return false
+}
+
+// indexedByRangeKey reports whether the index expression is exactly
+// the range statement's key variable.
+func indexedByRangeKey(p *Pass, e *ast.IndexExpr, rs *ast.RangeStmt) bool {
+	keyID, ok := rs.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" {
+		return false
+	}
+	keyObj := p.Info.ObjectOf(keyID)
+	idxID, ok := e.Index.(*ast.Ident)
+	return ok && keyObj != nil && p.Info.ObjectOf(idxID) == keyObj
+}
+
+// sortFollows reports whether any call into the sort or slices
+// package appears after the range statement in the same function
+// body. The check is deliberately coarse — any later sort call
+// restores a deterministic order in every shape this codebase uses,
+// and a false "sorted" still leaves the refguards as the backstop.
+func sortFollows(p *Pass, fn funcNode, rs *ast.RangeStmt) bool {
+	found := false
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		if _, ok := isPkgCall(p.Info, call, "sort"); ok {
+			found = true
+		} else if _, ok := isPkgCall(p.Info, call, "slices"); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

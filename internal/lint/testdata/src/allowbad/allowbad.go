@@ -1,0 +1,16 @@
+// Package allowbad is the fixture for malformed //lint:allow
+// directives: a missing reason and an unknown analyzer name are both
+// findings, and a reasonless directive never suppresses.
+package allowbad
+
+import "context"
+
+func missingReason() context.Context {
+	//lint:allow ctxflow
+	return context.Background()
+}
+
+func unknownAnalyzer() int {
+	//lint:allow nosuchanalyzer because it sounded plausible
+	return 42
+}

@@ -1,0 +1,49 @@
+// Package atomicfield is the fixture for the atomicfield analyzer: a
+// field accessed through sync/atomic anywhere must be accessed through
+// sync/atomic everywhere.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	total uint64
+	mode  int32
+}
+
+func (c *counters) inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) read() uint64 {
+	return c.hits // want `plainly here`
+}
+
+func (c *counters) write(v uint64) {
+	c.hits = v // want `plainly here`
+}
+
+func (c *counters) atomicRead() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// plainTotal only ever uses plain access: single-goroutine field, fine.
+func (c *counters) plainTotal() uint64 {
+	c.total++
+	return c.total
+}
+
+func (c *counters) setMode(m int32) {
+	atomic.StoreInt32(&c.mode, m)
+}
+
+// allowedPeek documents a justified exception (pre-publication read).
+func (c *counters) allowedPeek() int32 {
+	//lint:allow atomicfield read before the struct is published to other goroutines
+	return c.mode
+}
+
+// fresh initializes via composite literal before publication: silent.
+func fresh() *counters {
+	return &counters{hits: 0, total: 0}
+}

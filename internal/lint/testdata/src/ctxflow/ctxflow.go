@@ -1,0 +1,59 @@
+// Package ctxflow is the fixture for the ctxflow analyzer: request
+// paths must thread the caller's context.
+package ctxflow
+
+import "context"
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// mintsRoot forks a fresh root instead of threading the caller's ctx.
+func mintsRoot(ctx context.Context) error {
+	fresh := context.Background() // want `mints a fresh root`
+	_ = fresh
+	todo := context.TODO() // want `mints a fresh root`
+	_ = todo
+	return work(ctx)
+}
+
+// allowedRoot is a justified root: a background task with no caller.
+func allowedRoot() context.Context {
+	//lint:allow ctxflow background health probe owns its own lifetime
+	return context.Background()
+}
+
+// dropsNamed accepts a ctx and silently ignores it.
+func dropsNamed(ctx context.Context, n int) int { // want `accepted but never used`
+	return n * 2
+}
+
+// explicitDiscard is fine in a declaration: interface conformance.
+func explicitDiscard(_ context.Context, n int) int {
+	return n
+}
+
+func literals() {
+	// A literal that drops its ctx means the downstream call is
+	// context-free — flagged even unnamed.
+	dropUnnamed := func(context.Context) error { // want `drops it`
+		return nil
+	}
+	_ = dropUnnamed
+
+	dropBlank := func(_ context.Context) error { // want `drops it`
+		return nil
+	}
+	_ = dropBlank
+
+	dropNamed := func(ctx context.Context) error { // want `accepted but never used`
+		return nil
+	}
+	_ = dropNamed
+
+	threads := func(ctx context.Context) error {
+		return work(ctx)
+	}
+	_ = threads
+}

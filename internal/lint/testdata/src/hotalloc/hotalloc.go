@@ -1,0 +1,41 @@
+// Package hotalloc is the fixture for the hotalloc analyzer: no fmt
+// formatting, timestamps, or string concatenation on hot paths.
+package hotalloc
+
+import (
+	"fmt"
+	"time"
+)
+
+const twoParts = "a" + "b" // constant folding: silent
+
+func hot(labels []int, name string) string {
+	s := fmt.Sprintf("%d", len(labels)) // want `fmt.Sprintf allocates`
+	now := time.Now()                   // want `time.Now on a hot path`
+	_ = now
+	joined := name + s // want `string concatenation`
+	return joined
+}
+
+type pat struct{ n int }
+
+// String is a display method: exempt.
+func (p pat) String() string {
+	return fmt.Sprintf("pat(%d)", p.n)
+}
+
+// Name is a display method: exempt.
+func (p pat) Name() string {
+	return "pat-" + p.String()
+}
+
+// coldError builds an error: fmt.Errorf is not in the hot set.
+func coldError(n int) error {
+	return fmt.Errorf("bad n %d", n)
+}
+
+// stamped documents a justified exception.
+func stamped() int64 {
+	//lint:allow hotalloc stage-boundary timestamp, once per mine not per candidate
+	return time.Now().UnixNano()
+}

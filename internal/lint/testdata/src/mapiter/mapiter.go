@@ -1,0 +1,115 @@
+// Package mapiter is the fixture for the mapiter analyzer: every
+// `range` over a map that feeds an ordered result must be followed by
+// a deterministic sort.
+package mapiter
+
+import (
+	"slices"
+	"sort"
+)
+
+// keysUnsorted leaks map iteration order into its result.
+func keysUnsorted(m map[int]string) []int {
+	out := []int{}
+	for k := range m {
+		out = append(out, k) // want `map iteration order`
+	}
+	return out
+}
+
+// keysSorted is the corrected form: sort after the loop.
+func keysSorted(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// keysSlices sorts through the slices package instead.
+func keysSlices(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// invert writes keyed by the iterated value: order-independent.
+func invert(m map[int]string) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// stream sends in map iteration order.
+func stream(m map[int]string, ch chan<- int) {
+	for k := range m {
+		ch <- k // want `map iteration order`
+	}
+}
+
+// local appends only into a slice created inside the loop body.
+func local(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		tmp := []int{}
+		for _, v := range vs {
+			tmp = append(tmp, v*2)
+		}
+		total += len(tmp)
+	}
+	return total
+}
+
+type acc struct{ out []string }
+
+// collect accumulates into a field in map iteration order.
+func (a *acc) collect(m map[string]int) {
+	for k := range m {
+		a.out = append(a.out, k) // want `map iteration order`
+	}
+}
+
+// allowed documents a justified exception.
+func allowed(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		//lint:allow mapiter order-insensitive set semantics, consumer dedups
+		out = append(out, k)
+	}
+	return out
+}
+
+// mergeByKey appends into elements indexed by the range key: the
+// writes partition by key, so per-key order is deterministic.
+func mergeByKey(locals []map[int][]string) map[int][]string {
+	out := map[int][]string{}
+	for _, loc := range locals {
+		for k, vs := range loc {
+			out[k] = append(out[k], vs...)
+		}
+	}
+	return out
+}
+
+// mergeByOtherIndex appends into an element indexed by something other
+// than the range key: iteration order leaks.
+func mergeByOtherIndex(m map[int]string, out [][]string, slot int) {
+	for _, v := range m {
+		out[slot] = append(out[slot], v) // want `map iteration order`
+	}
+}
+
+// sliceRange iterates a slice, not a map: always deterministic.
+func sliceRange(vs []int) []int {
+	var out []int
+	for _, v := range vs {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+// Package trustedalloc is the fixture for the trustedalloc analyzer:
+// every make() size must be visibly clamped.
+package trustedalloc
+
+// allocHint mirrors the indexio clamp helper.
+func allocHint(n int) int {
+	if n > 4096 {
+		return 4096
+	}
+	return n
+}
+
+func decode(n, l int) []byte {
+	buf := make([]byte, n) // want `not visibly clamped`
+	_ = buf
+
+	hinted := make([]byte, allocHint(n))
+	_ = hinted
+
+	capped := make([]int, 0, min(n, 1024))
+	_ = capped
+
+	seqLen := min(l, 64) + 1
+	viaVar := make([]int, seqLen)
+	_ = viaVar
+
+	raw := l + 1
+	unclamped := make([]int, raw) // want `not visibly clamped`
+	_ = unclamped
+
+	hdr := make([]byte, len("MAGIC"))
+	_ = hdr
+
+	m := make(map[int]bool, allocHint(n))
+	_ = m
+
+	ch := make(chan int, 4)
+	_ = ch
+
+	grown := allocHint(n) * 2
+	arith := make([]byte, grown)
+	_ = arith
+
+	return nil
+}
+
+// reassigned shows that a variable mutated after a safe initialization
+// is no longer trusted.
+func reassigned(n int) []int {
+	size := min(n, 8)
+	size = n
+	return make([]int, size) // want `not visibly clamped`
+}
+
+// allowed documents a justified exception.
+func allowed(n int) []byte {
+	//lint:allow trustedalloc size validated against the section table above
+	return make([]byte, n)
+}

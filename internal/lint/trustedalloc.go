@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TrustedAlloc enforces the snapshot-decoding discipline documented in
+// internal/indexio: a count decoded from the wire is never trusted for
+// allocation, because a corrupt length prefix must fail at the next
+// read, not attempt a multi-gigabyte make before the trailing CRC gets
+// a chance to run. Mechanically: every make() size or capacity must be
+// visibly clamped — a compile-time constant, a len/cap of in-memory
+// data, a call through a clamp helper (allocHint or the min builtin),
+// or arithmetic over those. A bare decoded variable, even one
+// range-checked on a previous line, is rejected: the clamp belongs in
+// the allocation expression where the next reader (and this analyzer)
+// can see it.
+var TrustedAlloc = &Analyzer{
+	Name:     "trustedalloc",
+	Doc:      "make() sized by decoded wire input without a visible clamp",
+	Packages: []string{"internal/indexio"},
+	Run:      runTrustedAlloc,
+}
+
+// clampFuncs are the package-local helpers trusted to bound a size.
+var clampFuncs = map[string]bool{"allocHint": true}
+
+func runTrustedAlloc(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				if !safeSize(p, arg, 0) {
+					p.Reportf(arg.Pos(), "allocation size %q is not visibly clamped; route it through allocHint(...) or min(..., bound)", exprString(p, arg))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// safeSize reports whether the size expression is bounded by
+// construction. Identifiers are chased one definition deep so the
+// `n := min(l, bound) + 1` idiom stays allowed.
+func safeSize(p *Pass, e ast.Expr, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+		return true // compile-time constant
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return safeSize(p, e.X, depth+1)
+	case *ast.BinaryExpr:
+		return safeSize(p, e.X, depth+1) && safeSize(p, e.Y, depth+1)
+	case *ast.CallExpr:
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			if b, ok := p.Info.Uses[fun].(*types.Builtin); ok {
+				switch b.Name() {
+				case "len", "cap", "min":
+					return true
+				}
+				return false
+			}
+			return clampFuncs[fun.Name]
+		}
+		return false
+	case *ast.Ident:
+		def := definingExpr(p, e)
+		if def == nil {
+			return false
+		}
+		return safeSize(p, def, depth+1)
+	}
+	return false
+}
+
+// definingExpr finds the expression a locally-defined identifier was
+// initialized from (via := or var); nil when there is no single
+// initializer or the variable is reassigned later.
+func definingExpr(p *Pass, id *ast.Ident) ast.Expr {
+	obj := p.Info.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	var def ast.Expr
+	reassigned := false
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					lid, ok := lhs.(*ast.Ident)
+					if !ok || p.Info.ObjectOf(lid) != obj {
+						continue
+					}
+					if p.Info.Defs[lid] != nil && len(n.Lhs) == len(n.Rhs) {
+						def = n.Rhs[i]
+					} else {
+						reassigned = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if p.Info.ObjectOf(name) == obj && i < len(n.Values) {
+						def = n.Values[i]
+					}
+				}
+			case *ast.IncDecStmt:
+				if lid, ok := n.X.(*ast.Ident); ok && p.Info.ObjectOf(lid) == obj {
+					reassigned = true
+				}
+			}
+			return true
+		})
+	}
+	if reassigned {
+		return nil
+	}
+	return def
+}

@@ -613,8 +613,8 @@ func (s *Server) handleBackbones(w http.ResponseWriter, r *http.Request) {
 	}
 	// A cache-miss backbones request materializes a Stage I level —
 	// real mining work — so it rides the same guards as /v1/mine.
-	s.serveCached(w, r, fmt.Sprintf("backbones l=%d", l), false, func(context.Context) ([]byte, error) {
-		bbs, err := s.ix.MinimalBackbones(l)
+	s.serveCached(w, r, fmt.Sprintf("backbones l=%d", l), false, func(ctx context.Context) ([]byte, error) {
+		bbs, err := s.ix.MinimalBackbonesContext(ctx, l)
 		if err != nil {
 			return nil, err
 		}

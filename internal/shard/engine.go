@@ -214,6 +214,7 @@ func (e *Engine) MaterializedLevels() []int {
 // options; the sharded Stage I wall-clock is folded into
 // Stats.DiamMineTime.
 func (e *Engine) Mine(opt core.Options) (*core.Result, error) {
+	//lint:allow ctxflow compatibility entry point, ctx-aware callers use MineCtx
 	return e.MineCtx(context.Background(), opt)
 }
 
@@ -271,7 +272,15 @@ func (e *Engine) MineCtx(ctx context.Context, opt core.Options) (*core.Result, e
 // MinimalPatterns returns the globally frequent paths of length l — the
 // merged Stage I level — materializing it shard-parallel on a miss.
 func (e *Engine) MinimalPatterns(l int) ([]*core.PathPattern, error) {
-	if err := e.preloadLevels(context.Background(), []int{l}, e.conc); err != nil {
+	//lint:allow ctxflow compatibility entry point, ctx-aware callers use MinimalPatternsCtx
+	return e.MinimalPatternsCtx(context.Background(), l)
+}
+
+// MinimalPatternsCtx is MinimalPatterns with a caller-supplied context:
+// shard-parallel materialization observes cancellation between shard
+// steps, and a remote engine propagates the deadline into worker RPCs.
+func (e *Engine) MinimalPatternsCtx(ctx context.Context, l int) ([]*core.PathPattern, error) {
+	if err := e.preloadLevels(ctx, []int{l}, e.conc); err != nil {
 		return nil, err
 	}
 	e.mu.RLock()

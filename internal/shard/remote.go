@@ -253,6 +253,7 @@ func (r *remoteRunner) probe(s int) {
 
 func (r *remoteRunner) probeOnce(s int) {
 	w := r.workers[s]
+	//lint:allow ctxflow background health probe, owned by the runner not a request
 	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+WorkerInfoPath, nil)

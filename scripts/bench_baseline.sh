@@ -4,10 +4,13 @@
 # custom metric per benchmark) so the bench trajectory has
 # machine-readable data points per PR.
 #
-#   ./scripts/bench_baseline.sh [out.json]
+#   ./scripts/bench_baseline.sh [pr-number | out.json]
 #
-# The output file argument defaults to the current PR's snapshot name;
-# CI passes it explicitly so the uploaded artifact and the committed
+# A bare number N writes BENCH_prN.json; any other argument is taken as
+# the output filename verbatim. With no argument the PR number is
+# inferred as one past the highest committed BENCH_pr*.json snapshot,
+# so a fresh branch gets the right name without editing anything. CI
+# passes the name explicitly so the uploaded artifact and the committed
 # snapshot share one recipe.
 #
 # Two suites run: the root mining benchmarks (concurrency scaling, the
@@ -26,7 +29,13 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr7.json}
+OUT=${1:-}
+if [[ -z "$OUT" ]]; then
+  last=$(ls BENCH_pr*.json 2>/dev/null | sed -E 's/^BENCH_pr([0-9]+)\.json$/\1/' | sort -n | tail -1)
+  OUT="BENCH_pr$(( ${last:-0} + 1 )).json"
+elif [[ "$OUT" =~ ^[0-9]+$ ]]; then
+  OUT="BENCH_pr${OUT}.json"
+fi
 BENCHTIME=${BENCHTIME:-1x}
 BENCH_RE=${BENCH_RE:-'^BenchmarkMine(Concurrency|Constrained|Sharded)'}
 BENCH_SERVER_RE=${BENCH_SERVER_RE:-'^BenchmarkServer(Sequential|Batch)'}

@@ -104,6 +104,7 @@
 package skinnymine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -534,7 +535,7 @@ func (c *Corpus) NewGraph() *Graph {
 // branch per engine kind.
 type indexBackend interface {
 	Mine(opt core.Options) (*core.Result, error)
-	MinimalPatterns(l int) ([]*core.PathPattern, error)
+	MinimalPatternsCtx(ctx context.Context, l int) ([]*core.PathPattern, error)
 	Sigma() int
 	NumGraphs() int
 	SetConcurrency(n int)
@@ -629,7 +630,15 @@ func (ix *Index) Mine(opt Options) (*Result, error) {
 // length l — the minimal constraint-satisfying patterns Stage I mines,
 // each the canonical diameter of every pattern grown from it.
 func (ix *Index) MinimalBackbones(l int) ([][]string, error) {
-	paths, err := ix.back.MinimalPatterns(l)
+	return ix.MinimalBackbonesContext(context.Background(), l)
+}
+
+// MinimalBackbonesContext is MinimalBackbones honoring request
+// cancellation: a sharded index observes the context between shard
+// materialization steps (and propagates its deadline into remote worker
+// RPCs), an unsharded index checks it at the materialization boundary.
+func (ix *Index) MinimalBackbonesContext(ctx context.Context, l int) ([][]string, error) {
+	paths, err := ix.back.MinimalPatternsCtx(ctx, l)
 	if err != nil {
 		return nil, err
 	}
