@@ -22,11 +22,16 @@
 //
 // Observability: every response carries an X-Request-Id (echoed or
 // generated, and forwarded to worker RPCs); /v1/mine?trace=1 wraps the
-// result with its per-stage spans; /metrics?format=prom renders the
-// Prometheus text exposition; -log-level/-log-format configure the
-// structured log, -slow-query logs slow runs with their spans, and
-// -pprof mounts /debug/pprof/ in both daemon and worker mode. See the
-// README's "Observability" section.
+// result with its run's spans (served from the trace store on a cache
+// hit); the always-on trace store retains the last -trace-store
+// completed request traces — stitched across worker processes in
+// distributed mode — behind GET /debug/traces (?id= for one span
+// tree); /metrics?format=prom renders the Prometheus text exposition;
+// -log-level/-log-format configure the structured log, -slow-query
+// logs slow runs with their spans and a /debug/traces link, and
+// -pprof mounts /debug/pprof/ in both daemon and worker mode. The
+// skinnytop command renders these endpoints as a live dashboard. See
+// the README's "Observability" section.
 //
 // # Distributed mining
 //
@@ -96,6 +101,7 @@ func main() {
 		logFormat = flag.String("log-format", "text", "log encoding: text or json")
 		slowQuery = flag.Duration("slow-query", 0, "log mining runs at least this slow at warn level, with their stage spans (0: disabled)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (both daemon and worker mode)")
+		traceKeep = flag.Int("trace-store", 0, "completed request traces retained for /debug/traces (0: 256, negative: disable the store)")
 	)
 	flag.Parse()
 
@@ -147,6 +153,7 @@ func main() {
 		Index: ix, MaxConcurrent: *maxConc, MaxLength: *maxLen,
 		MaxBatch: *maxBatch, CacheSize: *cache, IndexConcurrency: *ixConc,
 		Logger: slog.Default(), SlowQuery: *slowQuery, Pprof: *pprofOn,
+		TraceStore: *traceKeep,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,334 @@
+// Command skinnytop is a live terminal dashboard for a SkinnyMine
+// fleet: it polls each target's /metrics (daemons) or
+// /skinnymine/v1/info (workers), diffs the counters between rounds
+// vmstat-style, and redraws one screen of rates — QPS, cache hit
+// rate, admission wait, per-worker RPC health and latency — plus the
+// latest traces from the always-on trace store.
+//
+//	skinnytop                             # watch http://localhost:8080
+//	skinnytop :8080 :9001 :9002           # a coordinator and two workers
+//	skinnytop -once :8080                 # one snapshot (rates over uptime), then exit
+//	skinnytop -interval 5s :8080
+//
+// Targets may be bare host:port, :port, or full http:// URLs; each is
+// classified by probing. It is stdlib-only, like everything else in
+// the module, and reads only public endpoints — point it at any
+// skinnymined you can curl.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"skinnymine"
+	"skinnymine/internal/obs"
+	"skinnymine/internal/server"
+	"skinnymine/internal/shard"
+)
+
+func main() {
+	var (
+		once     = flag.Bool("once", false, "print one snapshot (rates computed over server uptime) and exit")
+		interval = flag.Duration("interval", 2*time.Second, "poll and redraw period")
+		traces   = flag.Int("traces", 5, "latest traces shown per daemon (0: hide the trace panel)")
+	)
+	flag.Parse()
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"http://localhost:8080"}
+	}
+	for i, t := range targets {
+		targets[i] = normalize(t)
+	}
+	client := &http.Client{Timeout: 3 * time.Second}
+	d := &dash{client: client, targets: targets, traces: *traces, prev: make(map[string]sample)}
+
+	if *once {
+		d.round(os.Stdout, false)
+		return
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	d.round(os.Stdout, true)
+	for {
+		select {
+		case <-stop:
+			fmt.Println()
+			return
+		case <-tick.C:
+			d.round(os.Stdout, true)
+		}
+	}
+}
+
+// normalize accepts ":8080", "host:9001" or a full URL.
+func normalize(t string) string {
+	if strings.HasPrefix(t, "http://") || strings.HasPrefix(t, "https://") {
+		return strings.TrimRight(t, "/")
+	}
+	if strings.HasPrefix(t, ":") {
+		return "http://localhost" + t
+	}
+	return "http://" + t
+}
+
+// sample is one poll of one target: exactly one of metrics/info is
+// set for a reachable target, classifying it as daemon or worker.
+type sample struct {
+	at      time.Time
+	metrics *server.MetricsSnapshot
+	info    *shard.WorkerInfo
+	traces  []server.TraceSummary
+	err     error
+}
+
+type dash struct {
+	client  *http.Client
+	targets []string
+	traces  int
+	prev    map[string]sample
+	rounds  int
+}
+
+// round polls every target, renders one screen, and stores the
+// samples as the baseline the next round diffs against.
+func (d *dash) round(w *os.File, clear bool) {
+	now := make(map[string]sample, len(d.targets))
+	for _, t := range d.targets {
+		now[t] = d.poll(t)
+	}
+	var b strings.Builder
+	if clear {
+		b.WriteString("\x1b[2J\x1b[H") // clear screen, home cursor
+	}
+	fmt.Fprintf(&b, "skinnytop  %s  (%d targets)\n", time.Now().Format("15:04:05"), len(d.targets))
+	for _, t := range d.targets {
+		d.renderTarget(&b, t, now[t], d.prev[t])
+	}
+	w.WriteString(b.String())
+	d.prev = now
+	d.rounds++
+}
+
+// poll classifies one target by probing /metrics first (daemon), then
+// the worker info endpoint.
+func (d *dash) poll(target string) sample {
+	s := sample{at: time.Now()}
+	var m server.MetricsSnapshot
+	if err := d.getJSON(target+"/metrics", &m); err == nil {
+		s.metrics = &m
+		if d.traces > 0 {
+			var tl server.TraceListResponse
+			if err := d.getJSON(target+"/debug/traces", &tl); err == nil {
+				if len(tl.Traces) > d.traces {
+					tl.Traces = tl.Traces[:d.traces]
+				}
+				s.traces = tl.Traces
+			}
+		}
+		return s
+	}
+	var info shard.WorkerInfo
+	if err := d.getJSON(target+shard.WorkerInfoPath, &info); err == nil {
+		s.info = &info
+		return s
+	} else {
+		s.err = err
+	}
+	return s
+}
+
+func (d *dash) getJSON(url string, v any) error {
+	resp, err := d.client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (d *dash) renderTarget(b *strings.Builder, target string, cur, prev sample) {
+	fmt.Fprintf(b, "\n%s", target)
+	switch {
+	case cur.err != nil:
+		fmt.Fprintf(b, "  [unreachable: %v]\n", cur.err)
+	case cur.info != nil:
+		i := cur.info
+		fmt.Fprintf(b, "  [worker]\n")
+		fmt.Fprintf(b, "  shard %d  crc %s  graphs %d  sigma %d  up %s  %s %s\n",
+			i.Shard, i.CRC, i.Graphs, i.Sigma, fmtDur(i.UptimeSeconds), i.GoVersion, i.Revision)
+	case cur.metrics != nil:
+		d.renderDaemon(b, cur, prev)
+	}
+}
+
+// renderDaemon is the coordinator panel: request and mine rates from
+// counter deltas against the previous round — or, on the first round
+// and under -once, against zero over the server's uptime, which turns
+// the cumulative counters into lifetime averages.
+func (d *dash) renderDaemon(b *strings.Builder, cur, prev sample) {
+	m := cur.metrics
+	var base server.MetricsSnapshot
+	dt := m.UptimeSeconds // lifetime window when no previous sample
+	if prev.metrics != nil {
+		base = *prev.metrics
+		dt = cur.at.Sub(prev.at).Seconds()
+	}
+	if dt <= 0 {
+		dt = 1
+	}
+	fmt.Fprintf(b, "  [daemon]  up %s\n", fmtDur(m.UptimeSeconds))
+
+	var reqs, prevReqs int64
+	for _, v := range m.Requests {
+		reqs += v
+	}
+	for _, v := range base.Requests {
+		prevReqs += v
+	}
+	hits := m.Mine.CacheHits - base.Mine.CacheHits
+	misses := m.Mine.CacheMisses - base.Mine.CacheMisses
+	coal := m.Mine.Coalesced - base.Mine.Coalesced
+	hitRate := 0.0
+	if tracked := hits + misses + coal; tracked > 0 {
+		hitRate = 100 * float64(hits) / float64(tracked)
+	}
+	tw := tabwriter.NewWriter(b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  qps\truns/s\thit%%\tcoalesced/s\terr/s\tin-flight\tmine p50\tmine p95\tadm wait\tslowq\n")
+	fmt.Fprintf(tw, "  %.1f\t%.1f\t%.0f\t%.1f\t%.1f\t%d\t%s\t%s\t%s\t%d\n",
+		float64(reqs-prevReqs)/dt,
+		float64(m.Mine.Runs-base.Mine.Runs)/dt,
+		hitRate,
+		float64(coal)/dt,
+		float64(m.Mine.Errors-base.Mine.Errors)/dt,
+		m.Mine.InFlight,
+		fmtMs(quantile(base.Mine.LatencyMs, m.Mine.LatencyMs, 0.50)),
+		fmtMs(quantile(base.Mine.LatencyMs, m.Mine.LatencyMs, 0.95)),
+		fmtMs(avgDelta(base.AdmissionWaitMs, m.AdmissionWaitMs)),
+		m.Mine.SlowQueries,
+	)
+	tw.Flush()
+
+	if len(m.Workers) > 0 {
+		tw = tabwriter.NewWriter(b, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "  worker\tshard\thealth\trpc/s\tretry/s\thedge/s\terr/s\trpc p95\n")
+		for i, ws := range m.Workers {
+			var bw struct {
+				Requests, Retries, Hedges, Errors int64
+				Latency                           obs.HistogramSnapshot
+			}
+			if prev.metrics != nil && i < len(base.Workers) && base.Workers[i].Addr == ws.Addr {
+				p := base.Workers[i]
+				bw.Requests, bw.Retries, bw.Hedges, bw.Errors = p.Requests, p.Retries, p.Hedges, p.Errors
+				bw.Latency = toHist(p.Latency)
+			}
+			health := "up"
+			if !ws.Healthy {
+				health = "DOWN"
+			}
+			fmt.Fprintf(tw, "  %s\t%d\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%s\n",
+				ws.Addr, ws.Shard, health,
+				float64(ws.Requests-bw.Requests)/dt,
+				float64(ws.Retries-bw.Retries)/dt,
+				float64(ws.Hedges-bw.Hedges)/dt,
+				float64(ws.Errors-bw.Errors)/dt,
+				fmtMs(quantile(bw.Latency, toHist(ws.Latency), 0.95)))
+		}
+		tw.Flush()
+	}
+
+	if len(cur.traces) > 0 {
+		tw = tabwriter.NewWriter(b, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "  trace\tendpoint\tsource\tms\tworkers\tage\n")
+		for _, tr := range cur.traces {
+			fmt.Fprintf(tw, "  %s\t%s\t%s\t%.1f\t%d\t%s\n",
+				tr.ID, tr.Endpoint, tr.Source, tr.DurationMs, tr.Workers,
+				fmtDur(time.Since(tr.Start).Seconds()))
+		}
+		tw.Flush()
+	}
+}
+
+// toHist bridges the public wire form of a latency histogram to the
+// internal one so both feed the same quantile math.
+func toHist(l skinnymine.LatencySnapshot) obs.HistogramSnapshot {
+	out := obs.HistogramSnapshot{Count: l.Count, SumMs: l.SumMs, MaxMs: l.MaxMs,
+		Buckets: make([]obs.HistogramBucket, len(l.Buckets))}
+	for i, b := range l.Buckets {
+		out.Buckets[i] = obs.HistogramBucket{LeMs: b.LeMs, Count: b.Count}
+	}
+	return out
+}
+
+// quantile estimates the q-quantile of the samples that landed
+// between two cumulative snapshots, reading the delta of each le
+// bucket; the answer is the upper bound of the bucket the rank falls
+// in (the resolution the fixed boundaries give us). Returns 0 when no
+// samples landed in the window.
+func quantile(prev, cur obs.HistogramSnapshot, q float64) float64 {
+	total := cur.Count - prev.Count
+	if total <= 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	for i, bkt := range cur.Buckets {
+		c := bkt.Count
+		if i < len(prev.Buckets) {
+			c -= prev.Buckets[i].Count
+		}
+		if c >= rank {
+			return bkt.LeMs
+		}
+	}
+	return cur.MaxMs
+}
+
+// avgDelta is the mean of samples between two cumulative snapshots.
+func avgDelta(prev, cur obs.HistogramSnapshot) float64 {
+	n := cur.Count - prev.Count
+	if n <= 0 {
+		return 0
+	}
+	return (cur.SumMs - prev.SumMs) / float64(n)
+}
+
+func fmtMs(ms float64) string {
+	switch {
+	case ms <= 0:
+		return "-"
+	case ms < 10:
+		return fmt.Sprintf("%.2fms", ms)
+	case ms < 1000:
+		return fmt.Sprintf("%.0fms", ms)
+	default:
+		return fmt.Sprintf("%.1fs", ms/1000)
+	}
+}
+
+func fmtDur(sec float64) string {
+	d := time.Duration(sec * float64(time.Second))
+	switch {
+	case d < time.Minute:
+		return fmt.Sprintf("%.0fs", d.Seconds())
+	case d < time.Hour:
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	default:
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	}
+}

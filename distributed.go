@@ -9,6 +9,9 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"skinnymine/internal/core"
@@ -175,11 +178,12 @@ func (ix *Index) WorkerHealth() []WorkerStatus {
 
 // ShardWorker serves Stage I candidate generation for ONE shard
 // snapshot file over HTTP — the worker half of a distributed index.
-// It answers GET /shard/v1/info (identity and health; also aliased at
-// /healthz) and POST /shard/v1/candidates (the binary level-set
-// protocol of internal/shard). Workers are stateless across requests
-// and safe for concurrent use, including a coordinator's hedged
-// duplicate requests.
+// It answers GET /skinnymine/v1/info (identity and health — CRC, shard
+// index, uptime, build info; also aliased at /healthz and the legacy
+// /shard/v1/info) and POST /skinnymine/v1/candidates (the binary
+// level-set protocol of internal/shard). Workers are stateless across
+// requests and safe for concurrent use, including a coordinator's
+// hedged duplicate requests.
 type ShardWorker struct {
 	w *shard.Worker
 }
@@ -202,7 +206,30 @@ func LoadShardWorkerFile(path string) (*ShardWorker, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.SetShard(shardIndexFromPath(path))
 	return &ShardWorker{w: w}, nil
+}
+
+// shardIndexFromPath recovers the manifest shard index from the
+// generated file name shape "<base>.shard<i>-<crc>", or -1 when the
+// file was renamed out of it — the index is advisory identity for the
+// info probe, never correctness (that is the CRC pin's job).
+func shardIndexFromPath(path string) int {
+	name := filepath.Base(path)
+	i := strings.LastIndex(name, ".shard")
+	if i < 0 {
+		return -1
+	}
+	rest := name[i+len(".shard"):]
+	j := strings.IndexByte(rest, '-')
+	if j <= 0 {
+		return -1
+	}
+	n, err := strconv.Atoi(rest[:j])
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
 }
 
 func (w *ShardWorker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {

@@ -141,6 +141,36 @@ func (s *Span) End() {
 	})
 }
 
+// Graft appends externally recorded spans — a worker's, decoded from
+// an RPC response — onto t, rebasing their offsets against base (the
+// moment THIS process started the exchange, on this process's clock).
+// The foreign spans carry offsets relative to their own trace's start,
+// never absolute wall times, so clock skew between the two processes
+// cannot surface in the stitched tree; defensive clamping additionally
+// guarantees no grafted span ever has a negative start or duration,
+// even when the remote side sends garbage.
+func (t *Trace) Graft(spans []SpanData, base time.Time) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	baseUs := base.Sub(t.start).Microseconds()
+	if baseUs < 0 {
+		baseUs = 0
+	}
+	t.mu.Lock()
+	for _, s := range spans {
+		if s.StartUs < 0 {
+			s.StartUs = 0
+		}
+		if s.DurationUs < 0 {
+			s.DurationUs = 0
+		}
+		s.StartUs += baseUs
+		t.spans = append(t.spans, s)
+	}
+	t.mu.Unlock()
+}
+
 type ctxKey int
 
 const (

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// StoredTrace is one completed request's trace as the serving daemon
+// retains it: identity (the request ID), how it was served, and the
+// flat span list a renderer can rebuild into a tree. Summaries (List)
+// carry everything but Spans.
+type StoredTrace struct {
+	ID         string     `json:"id"`
+	Endpoint   string     `json:"endpoint"`
+	Source     string     `json:"source"` // "miss" (a real run), "hit", "coalesced"
+	Start      time.Time  `json:"start"`
+	DurationMs float64    `json:"duration_ms"`
+	Workers    int        `json:"workers"` // distinct shard workers that contributed spans
+	RunID      string     `json:"run_id,omitempty"`
+	Spans      []SpanData `json:"spans,omitempty"`
+
+	seq uint64 // recording order, for eviction/dedup; internal
+}
+
+// TraceStore is the daemon's always-on bounded trace retention: a ring
+// of the last N completed traces plus per-latency-bucket exemplar
+// reservoirs. The ring alone would let a burst of sub-millisecond cache
+// hits evict the one ten-second run an operator actually needs, so
+// every recorded trace is also slotted into the reservoir of its
+// latency bucket (round-robin within the bucket) — a slow trace can
+// only be displaced by a newer, comparably slow one, never by fast
+// traffic. Safe for concurrent Record/Get/List; reads are linear scans
+// over a few hundred entries, fine for an operator-driven endpoint.
+type TraceStore struct {
+	mu        sync.Mutex
+	ring      []StoredTrace // circular, oldest overwritten first
+	head      int           // next ring slot to write
+	size      int           // filled ring slots
+	bounds    []float64     // ascending bucket upper bounds, ms
+	exemplars [][]StoredTrace
+	exHead    []int // per-bucket round-robin cursor
+	perBucket int
+	seq       uint64
+}
+
+// NewTraceStore returns a store retaining the last capacity traces
+// (<= 0 means 256) plus perBucket exemplars per DefaultLatencyBuckets
+// latency bucket (<= 0 means 4).
+func NewTraceStore(capacity, perBucket int) *TraceStore {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if perBucket <= 0 {
+		perBucket = 4
+	}
+	bounds := DefaultLatencyBuckets
+	s := &TraceStore{
+		ring:      make([]StoredTrace, capacity),
+		bounds:    bounds,
+		exemplars: make([][]StoredTrace, len(bounds)+1),
+		exHead:    make([]int, len(bounds)+1),
+		perBucket: perBucket,
+	}
+	return s
+}
+
+// Record retains one completed trace. Spans must not be mutated by the
+// caller afterwards (the store keeps the slice, not a copy — recording
+// must stay cheap enough to run on every request).
+func (s *TraceStore) Record(t StoredTrace) {
+	s.mu.Lock()
+	s.seq++
+	t.seq = s.seq
+	s.ring[s.head] = t
+	s.head = (s.head + 1) % len(s.ring)
+	if s.size < len(s.ring) {
+		s.size++
+	}
+	b := sort.SearchFloat64s(s.bounds, t.DurationMs)
+	if len(s.exemplars[b]) < s.perBucket {
+		s.exemplars[b] = append(s.exemplars[b], t)
+	} else {
+		s.exemplars[b][s.exHead[b]] = t
+		s.exHead[b] = (s.exHead[b] + 1) % s.perBucket
+	}
+	s.mu.Unlock()
+}
+
+// Get returns the retained trace with the given request ID, spans
+// included, searching the ring and every exemplar reservoir. When
+// several traces share an ID (a batch records one run per unique entry
+// under the batch's request ID) the newest wins.
+func (s *TraceStore) Get(id string) (StoredTrace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best StoredTrace
+	found := false
+	consider := func(t StoredTrace) {
+		if t.ID == id && (!found || t.seq > best.seq) {
+			best, found = t, true
+		}
+	}
+	for i := 0; i < s.size; i++ {
+		consider(s.ring[i])
+	}
+	for _, res := range s.exemplars {
+		for _, t := range res {
+			consider(t)
+		}
+	}
+	return best, found
+}
+
+// List returns summaries (no spans) of every retained trace, newest
+// first; exemplars that already sit in the ring are not repeated.
+func (s *TraceStore) List() []StoredTrace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[uint64]bool, s.size)
+	out := make([]StoredTrace, 0, s.size)
+	add := func(t StoredTrace) {
+		if seen[t.seq] {
+			return
+		}
+		seen[t.seq] = true
+		t.Spans = nil
+		out = append(out, t)
+	}
+	for i := 0; i < s.size; i++ {
+		add(s.ring[i])
+	}
+	for _, res := range s.exemplars {
+		for _, t := range res {
+			add(t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq > out[j].seq })
+	return out
+}
+
+// Len returns how many distinct traces are currently retained.
+func (s *TraceStore) Len() int {
+	return len(s.List())
+}

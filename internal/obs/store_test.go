@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fastTrace(id string) StoredTrace {
+	return StoredTrace{ID: id, Endpoint: "/v1/mine", Source: "miss", Start: time.Now(), DurationMs: 0.2}
+}
+
+// TestTraceStoreEvictionOrder: the ring retains exactly the last N
+// recorded traces, newest first, and Get stops finding a trace once it
+// has left both the ring and its exemplar slot.
+func TestTraceStoreEvictionOrder(t *testing.T) {
+	s := NewTraceStore(4, 1)
+	for i := 0; i < 10; i++ {
+		s.Record(fastTrace(fmt.Sprintf("t%d", i)))
+	}
+	// All ten landed in the same latency bucket with one exemplar slot,
+	// so retention is the ring (t6..t9) plus the newest exemplar (t9).
+	list := s.List()
+	want := []string{"t9", "t8", "t7", "t6"}
+	if len(list) != len(want) {
+		t.Fatalf("retained %d traces, want %d: %+v", len(list), len(want), list)
+	}
+	for i, id := range want {
+		if list[i].ID != id {
+			t.Errorf("list[%d] = %q, want %q", i, list[i].ID, id)
+		}
+		if list[i].Spans != nil {
+			t.Errorf("list[%d] carries spans; summaries must not", i)
+		}
+	}
+	if _, ok := s.Get("t3"); ok {
+		t.Error("t3 survived eviction from a 4-entry ring after 10 records")
+	}
+	if tr, ok := s.Get("t9"); !ok || tr.Source != "miss" {
+		t.Errorf("Get(t9) = %+v, %v; want the retained trace", tr, ok)
+	}
+}
+
+// TestTraceStoreExemplarRetention: one slow trace must survive an
+// arbitrary flood of fast ones — that is the whole point of the
+// per-bucket reservoirs. A fast burst can only displace fast exemplars.
+func TestTraceStoreExemplarRetention(t *testing.T) {
+	s := NewTraceStore(8, 2)
+	slow := StoredTrace{ID: "slow", Endpoint: "/v1/mine", Source: "miss", DurationMs: 7500,
+		Spans: []SpanData{{Name: "stage2.grow", DurationUs: 7_400_000}}}
+	s.Record(slow)
+	for i := 0; i < 500; i++ {
+		s.Record(fastTrace(fmt.Sprintf("fast%d", i)))
+	}
+	got, ok := s.Get("slow")
+	if !ok {
+		t.Fatal("slow trace evicted by fast traffic; exemplar reservoir failed")
+	}
+	if len(got.Spans) != 1 || got.Spans[0].Name != "stage2.grow" {
+		t.Errorf("slow trace lost its spans: %+v", got.Spans)
+	}
+	found := false
+	for _, tr := range s.List() {
+		if tr.ID == "slow" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("slow trace missing from List")
+	}
+}
+
+// TestTraceStoreNewestWinsPerID: a batch records one run per unique
+// entry under the batch's single request ID; Get must return the
+// newest.
+func TestTraceStoreNewestWinsPerID(t *testing.T) {
+	s := NewTraceStore(8, 1)
+	s.Record(StoredTrace{ID: "rid", Endpoint: "/v1/batch", DurationMs: 1, Workers: 1})
+	s.Record(StoredTrace{ID: "rid", Endpoint: "/v1/batch", DurationMs: 2, Workers: 3})
+	got, ok := s.Get("rid")
+	if !ok || got.Workers != 3 {
+		t.Fatalf("Get = %+v, %v; want the newest (workers=3)", got, ok)
+	}
+}
+
+// TestTraceStoreConcurrent hammers Record/Get/List from many
+// goroutines; run under -race this pins the locking discipline.
+func TestTraceStoreConcurrent(t *testing.T) {
+	s := NewTraceStore(16, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("g%d-%d", g, i)
+				s.Record(StoredTrace{ID: id, DurationMs: float64(i % 50)})
+				s.Get(id)
+				if i%20 == 0 {
+					s.List()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() == 0 {
+		t.Error("store empty after concurrent records")
+	}
+}
+
+// TestGraftRebasesAndClamps: grafted spans are offset by the base
+// instant and can never surface negative offsets — not from a base
+// before the trace start (coordinator clock behind), not from
+// corrupted negative inputs (worker clock garbage). This is the skew
+// pin for cross-process stitching: worker spans travel as offsets
+// relative to the worker's own trace start, so absolute clock skew
+// never enters; clamping covers hostile inputs.
+func TestGraftRebasesAndClamps(t *testing.T) {
+	tr := NewTrace()
+	base := time.Now().Add(5 * time.Millisecond)
+	tr.Graft([]SpanData{
+		{Name: "worker.stage1", StartUs: 100, DurationUs: 400},
+		{Name: "worker.skewed", StartUs: -30_000, DurationUs: -5},
+	}, base)
+	// Base far in this trace's past: clamped to offset 0, not negative.
+	tr.Graft([]SpanData{{Name: "worker.past", StartUs: 10, DurationUs: 1}}, time.Now().Add(-time.Hour))
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range spans {
+		if s.StartUs < 0 || s.DurationUs < 0 {
+			t.Errorf("span %s has negative offset: start=%d dur=%d", s.Name, s.StartUs, s.DurationUs)
+		}
+		byName[s.Name] = s
+	}
+	if got := byName["worker.stage1"]; got.StartUs < 100 {
+		t.Errorf("worker.stage1 start %dus not rebased past its own offset", got.StartUs)
+	}
+	if got := byName["worker.skewed"]; got.DurationUs != 0 {
+		t.Errorf("negative duration not clamped: %d", got.DurationUs)
+	}
+	if got := byName["worker.past"]; got.StartUs != 10 {
+		t.Errorf("past base must clamp to the trace start: start=%d, want 10", got.StartUs)
+	}
+	// A nil trace tolerates grafting, like every other obs entry point.
+	var nilTrace *Trace
+	nilTrace.Graft([]SpanData{{Name: "x"}}, base)
+}

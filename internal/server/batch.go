@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"skinnymine"
 )
@@ -85,6 +86,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		opt    skinnymine.Options
 		body   []byte
 		source string
+		dur    time.Duration // wall clock of this unit's serve (guards included)
 		err    error
 	}
 	slots := make([]slot, len(req.Requests))
@@ -125,7 +127,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(key string, u *unit) {
 			defer wg.Done()
-			u.body, u.source, u.err = s.execute(r, key, true, s.mineProduce(u.opt))
+			t0 := time.Now()
+			u.body, u.source, _, u.err = s.execute(r, key, true, s.mineProduce("/v1/batch", u.opt))
+			u.dur = time.Since(t0)
 		}(key, u)
 	}
 	wg.Wait()
@@ -151,6 +155,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Results[i] = BatchItem{Status: errStatus(u.err), Error: u.err.Error()}
 			continue
 		}
+		// Per-ENTRY latency: every answered entry — duplicates included —
+		// observes its unit's serve time, so the batch histogram reflects
+		// what callers of each entry experienced.
+		s.metrics.batch.latency.Observe(u.dur)
 		source := u.source
 		if i != u.first {
 			source = "duplicate"

@@ -9,8 +9,10 @@ import (
 )
 
 // lruCache is a fixed-capacity LRU over serialized response bodies.
-// Values are the canonical JSON bytes a request produced, so a hit
-// replays the exact body the first caller saw.
+// Values are the canonical JSON bytes a request produced — so a hit
+// replays the exact body the first caller saw — plus the trace ID of
+// the run that produced them, so ?trace=1 on a hot key can serve the
+// stored trace of the original run instead of re-mining.
 type lruCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -19,8 +21,9 @@ type lruCache struct {
 }
 
 type lruEntry struct {
-	key  string
-	body []byte
+	key     string
+	body    []byte
+	traceID string
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -31,29 +34,32 @@ func newLRUCache(capacity int) *lruCache {
 	}
 }
 
-// get returns the cached body for key, promoting it to most recent.
-func (c *lruCache) get(key string) ([]byte, bool) {
+// get returns the cached body and producing-run trace ID for key,
+// promoting it to most recent.
+func (c *lruCache) get(key string) ([]byte, string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return nil, "", false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).body, true
+	e := el.Value.(*lruEntry)
+	return e.body, e.traceID, true
 }
 
 // put inserts or refreshes key, evicting the least recent entry when
 // over capacity.
-func (c *lruCache) put(key string, body []byte) {
+func (c *lruCache) put(key string, body []byte, traceID string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).body = body
+		e := el.Value.(*lruEntry)
+		e.body, e.traceID = body, traceID
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&lruEntry{key: key, body: body})
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, body: body, traceID: traceID})
 	for c.order.Len() > c.cap {
 		last := c.order.Back()
 		c.order.Remove(last)
@@ -80,7 +86,7 @@ type flightGroup struct {
 type flightCall struct {
 	done    chan struct{}
 	waiters atomic.Int64 // callers parked on done (canceled ones leave); observed by tests
-	body    []byte
+	res     produced
 	err     error
 }
 
@@ -100,17 +106,17 @@ func newFlightGroup() *flightGroup {
 // run is untouched, and no goroutine or connection stays parked on work
 // its requester will never read. Before this select existed a follower
 // was blind to its own cancellation until the leader finished.
-func (g *flightGroup) do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, err error, shared bool) {
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (produced, error)) (res produced, err error, shared bool) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
 		c.waiters.Add(1)
 		select {
 		case <-c.done:
-			return c.body, c.err, true
+			return c.res, c.err, true
 		case <-ctx.Done():
 			c.waiters.Add(-1)
-			return nil, fmt.Errorf("%w: %v", errAdmissionCanceled, ctx.Err()), true
+			return produced{}, fmt.Errorf("%w: %v", errAdmissionCanceled, ctx.Err()), true
 		}
 	}
 	c := &flightCall{done: make(chan struct{})}
@@ -128,6 +134,6 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() ([]byte, err
 		}
 		close(c.done)
 	}()
-	c.body, c.err = fn()
-	return c.body, c.err, false
+	c.res, c.err = fn()
+	return c.res, c.err, false
 }

@@ -28,16 +28,21 @@ type metrics struct {
 		backbones atomic.Int64
 		healthz   atomic.Int64
 		metrics   atomic.Int64
+		traces    atomic.Int64
 		notFound  atomic.Int64 // responses that left the mux as 404
 	}
 
 	// batch tracks /v1/batch composition; the work its entries cause is
 	// accounted in the mine section (runs, cache hits, latencies), so
-	// batched and single mining share one ledger.
+	// batched and single mining share one ledger. latency is per ENTRY
+	// serve time — how long each batch entry took to answer, duplicates
+	// included — so batch tail latency is visible separately from the
+	// per-run mine histogram.
 	batch struct {
 		items   atomic.Int64 // entries received across all batches
 		unique  atomic.Int64 // distinct canonical requests after dedup
 		deduped atomic.Int64 // valid entries answered by an earlier twin
+		latency *obs.Histogram
 	}
 
 	mine struct {
@@ -59,6 +64,7 @@ type metrics struct {
 func newMetrics() *metrics {
 	m := &metrics{start: time.Now(), admissionWait: obs.NewHistogram(nil)}
 	m.mine.latency = obs.NewHistogram(nil)
+	m.batch.latency = obs.NewHistogram(nil)
 	return m
 }
 
@@ -80,11 +86,16 @@ type MetricsSnapshot struct {
 }
 
 // BatchMetrics is the /v1/batch section of the metrics document. The
-// mining work batches trigger is accounted under the mine section.
+// mining work batches trigger is accounted under the mine section;
+// LatencyMs is the per-ENTRY serve-time distribution (every valid
+// entry observes the wall clock of the unit that answered it,
+// duplicates included), so batch tail latency is visible separately
+// from /v1/mine.
 type BatchMetrics struct {
-	Items   int64 `json:"items"`
-	Unique  int64 `json:"unique"`
-	Deduped int64 `json:"deduped"`
+	Items     int64                 `json:"items"`
+	Unique    int64                 `json:"unique"`
+	Deduped   int64                 `json:"deduped"`
+	LatencyMs obs.HistogramSnapshot `json:"latency_ms"`
 }
 
 // MineMetrics is the /v1/mine section of the metrics document.
@@ -97,9 +108,10 @@ type BatchMetrics struct {
 // counted when a request becomes the leader, not when it merely misses
 // the LRU: coalesced followers miss the cache too, but charging them a
 // miss each would overstate misses by exactly the coalesced count.
-// (?trace=1 requests bypass the cache and coalescing by design, so
-// they appear in runs and the latency histogram but in none of the
-// three cache counters.)
+// (?trace=1 requests ride the same ledger since the trace store made
+// cached serving possible for them; only on a server with the store
+// disabled do they fall back to bypassing the cache, appearing in runs
+// and latency but in none of the three cache counters.)
 //
 // latency_count, latency_avg_ms and latency_max_ms predate the
 // histogram and are derived from it, so existing dashboards keep
@@ -139,12 +151,14 @@ func (m *metrics) snapshot() MetricsSnapshot {
 			"backbones": m.requests.backbones.Load(),
 			"healthz":   m.requests.healthz.Load(),
 			"metrics":   m.requests.metrics.Load(),
+			"traces":    m.requests.traces.Load(),
 			"not_found": m.requests.notFound.Load(),
 		},
 		Batch: BatchMetrics{
-			Items:   m.batch.items.Load(),
-			Unique:  m.batch.unique.Load(),
-			Deduped: m.batch.deduped.Load(),
+			Items:     m.batch.items.Load(),
+			Unique:    m.batch.unique.Load(),
+			Deduped:   m.batch.deduped.Load(),
+			LatencyMs: m.batch.latency.Snapshot(),
 		},
 		Mine: MineMetrics{
 			CacheHits:    hits,
@@ -220,6 +234,7 @@ func writeProm(w io.Writer, snap MetricsSnapshot) error {
 	p("# TYPE skinnymine_batch_deduped_total counter\n")
 	p("skinnymine_batch_deduped_total %d\n", snap.Batch.Deduped)
 	promHistogram(p, "skinnymine_mine_latency_ms", "", histSnap(snap.Mine.LatencyMs))
+	promHistogram(p, "skinnymine_batch_latency_ms", "", histSnap(snap.Batch.LatencyMs))
 	promHistogram(p, "skinnymine_admission_wait_ms", "", histSnap(snap.AdmissionWaitMs))
 	if len(snap.Workers) > 0 {
 		p("# TYPE skinnymine_worker_healthy gauge\n")

@@ -64,18 +64,13 @@ func stripTimings(t *testing.T, body []byte) string {
 	return string(out)
 }
 
-// TestMineTrace: ?trace=1 returns the normal result wrapped with the
-// request's spans — both mining stages present, each span's duration
-// bounded by the reported total — and the result bytes are identical
-// to an untraced request's.
+// TestMineTrace: ?trace=1 on a fresh key mines the request and returns
+// the normal result wrapped with the run's spans — both mining stages
+// present, each span's duration bounded by the reported total — and
+// the run seeds the shared cache exactly like an untraced miss, so a
+// plain request that follows is a hit with byte-identical result.
 func TestMineTrace(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	plain := postMine(t, ts, `{"length":4,"delta":1}`)
-	plainBody, err := io.ReadAll(plain.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-
 	resp, err := http.Post(ts.URL+"/v1/mine?trace=1", "application/json",
 		strings.NewReader(`{"length":4,"delta":1}`))
 	if err != nil {
@@ -85,20 +80,21 @@ func TestMineTrace(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	if got := resp.Header.Get("X-Result-Source"); got != "traced" {
-		t.Errorf("X-Result-Source %q, want traced", got)
+	if got := resp.Header.Get("X-Result-Source"); got != "miss" {
+		t.Errorf("X-Result-Source %q, want miss", got)
 	}
 	tr := decodeBody[TraceResponse](t, resp.Body)
 	if tr.RequestID == "" {
 		t.Error("trace response lacks a request_id")
 	}
+	if tr.Source != "mined" {
+		t.Errorf("trace source %q, want mined", tr.Source)
+	}
+	if tr.TraceID != tr.RequestID {
+		t.Errorf("trace_id %q, want the leading request's own ID %q", tr.TraceID, tr.RequestID)
+	}
 	if tr.TotalMs <= 0 {
 		t.Errorf("total_ms = %v, want > 0", tr.TotalMs)
-	}
-	// Wall-clock stats fields differ run to run; everything else must
-	// be identical to the untraced response.
-	if got, want := stripTimings(t, tr.Result), stripTimings(t, plainBody); got != want {
-		t.Errorf("traced result differs from untraced result body:\n%s\nvs\n%s", got, want)
 	}
 	names := map[string]bool{}
 	var stagesMs float64
@@ -122,20 +118,96 @@ func TestMineTrace(t *testing.T) {
 	if stagesMs > tr.TotalMs+1 {
 		t.Errorf("stage spans sum %.3fms > total %.3fms", stagesMs, tr.TotalMs)
 	}
+
+	// The traced run seeded the cache: a plain request is a hit with
+	// the exact bytes the traced response carried as its result.
+	plain := postMine(t, ts, `{"length":4,"delta":1}`)
+	plainBody, err := io.ReadAll(plain.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.Header.Get("X-Result-Source"); got != "hit" {
+		t.Errorf("plain request after traced run: X-Result-Source %q, want hit", got)
+	}
+	// Indentation depth differs (the traced result rides nested inside
+	// the trace envelope), so compare the normalized forms.
+	if got, want := stripTimings(t, plainBody), stripTimings(t, tr.Result); got != want {
+		t.Errorf("cached body differs from traced result:\n%s\nvs\n%s", got, want)
+	}
 }
 
-// TestTraceBypassesCacheLedger: traced requests never touch the
-// hit/miss/coalesced ledger (they bypass the cache by design) but do
-// count as runs with latency samples — so the cache ledger invariant
-// hits+misses+coalesced == tracked requests survives tracing.
-func TestTraceBypassesCacheLedger(t *testing.T) {
+// TestTraceServesCachedRun: ?trace=1 on a hot key does not re-mine —
+// it serves the cached bytes plus the STORED trace of the run that
+// produced them, reporting source "cache". The ledger sees a normal
+// hit, so the invariant hits+misses+coalesced == tracked requests
+// now includes traced traffic.
+func TestTraceServesCachedRun(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
+	plain := postMine(t, ts, `{"length":4,"delta":1}`)
+	plainBody, err := io.ReadAll(plain.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origID := plain.Header.Get(obs.RequestIDHeader)
+
 	resp, err := http.Post(ts.URL+"/v1/mine?trace=1", "application/json",
 		strings.NewReader(`{"length":4,"delta":1}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Result-Source"); got != "hit" {
+		t.Errorf("X-Result-Source %q, want hit", got)
+	}
+	tr := decodeBody[TraceResponse](t, resp.Body)
+	if tr.Source != "cache" {
+		t.Errorf("trace source %q, want cache", tr.Source)
+	}
+	if tr.TraceID != origID {
+		t.Errorf("trace_id %q, want the producing run's request ID %q", tr.TraceID, origID)
+	}
+	if got, want := stripTimings(t, tr.Result), stripTimings(t, plainBody); got != want {
+		t.Error("traced hit served a different result than the original run")
+	}
+	if tr.TotalMs <= 0 {
+		t.Errorf("total_ms = %v, want the stored run's duration > 0", tr.TotalMs)
+	}
+	names := map[string]bool{}
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+	}
+	if !names["stage1"] || !names["stage2"] {
+		t.Errorf("stored trace lacks stage spans; got %v", names)
+	}
+
+	m := s.metrics.snapshot()
+	if m.Mine.Runs != 1 {
+		t.Errorf("runs = %d after plain + traced hit, want 1 (no re-mine)", m.Mine.Runs)
+	}
+	if m.Mine.CacheHits != 1 || m.Mine.CacheMisses != 1 {
+		t.Errorf("ledger hits=%d misses=%d, want 1/1", m.Mine.CacheHits, m.Mine.CacheMisses)
+	}
+}
+
+// TestTraceBypassWithStoreDisabled: with the trace store disabled the
+// legacy ?trace=1 contract holds — bypass the cache (there are no
+// stored spans a hit could show), run fresh, never touch the
+// hit/miss/coalesced ledger, and never seed the cache.
+func TestTraceBypassWithStoreDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{TraceStore: -1})
+	resp, err := http.Post(ts.URL+"/v1/mine?trace=1", "application/json",
+		strings.NewReader(`{"length":4,"delta":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Result-Source"); got != "traced" {
+		t.Errorf("X-Result-Source %q, want traced", got)
+	}
+	tr := decodeBody[TraceResponse](t, resp.Body)
+	if tr.Source != "mined" || len(tr.Spans) == 0 {
+		t.Errorf("bypass trace source %q with %d spans, want mined with spans", tr.Source, len(tr.Spans))
+	}
 	m := s.metrics.snapshot()
 	if m.Mine.CacheHits+m.Mine.CacheMisses+m.Mine.Coalesced != 0 {
 		t.Errorf("traced request touched the cache ledger: %+v", m.Mine)

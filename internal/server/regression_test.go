@@ -50,10 +50,10 @@ func TestFlightFollowerCancellation(t *testing.T) {
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		g.do(context.Background(), "k", func() ([]byte, error) {
+		g.do(context.Background(), "k", func() (produced, error) {
 			close(leaderIn)
 			<-block
-			return []byte("ok"), nil
+			return produced{body: []byte("ok")}, nil
 		})
 	}()
 	<-leaderIn
@@ -67,11 +67,11 @@ func TestFlightFollowerCancellation(t *testing.T) {
 	}
 	followerDone := make(chan outcome, 1)
 	go func() {
-		body, err, shared := g.do(ctx, "k", func() ([]byte, error) {
+		res, err, shared := g.do(ctx, "k", func() (produced, error) {
 			t.Error("canceled follower must never become a leader mid-wait")
-			return nil, nil
+			return produced{}, nil
 		})
-		followerDone <- outcome{body, err, shared}
+		followerDone <- outcome{res.body, err, shared}
 	}()
 	// The follower is parked on the leader's call; cancel only the
 	// follower.

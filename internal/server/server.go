@@ -7,6 +7,7 @@
 //	GET  /v1/backbones  ?l=N — Stage I minimal patterns for length N
 //	GET  /healthz       liveness + index summary (graphs, σ, shards)
 //	GET  /metrics       request counters, latencies, cache hit rate
+//	GET  /debug/traces  recent request traces; ?id= for one span tree
 //
 // Mining requests pass through three throughput guards: an LRU cache of
 // serialized responses keyed by canonicalized options, singleflight
@@ -85,6 +86,11 @@ type Config struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
 	// profiles expose internals and cost real CPU, so they are opt-in.
 	Pprof bool
+	// TraceStore is how many completed request traces the always-on
+	// trace store retains (ring of the most recent, plus a few exemplars
+	// per latency bucket so slow traces survive fast traffic). 0 means
+	// 256; negative disables the store and the /debug/traces endpoint.
+	TraceStore int
 }
 
 // Server serves mining requests over HTTP. Create one with New and
@@ -100,6 +106,7 @@ type Server struct {
 	log      *slog.Logger
 	slowQry  time.Duration // 0 disables the slow-query log
 	pprofOn  bool
+	traces   *obs.TraceStore // nil when the trace store is disabled
 
 	// mineFn runs one mining request under the leader request's context
 	// (a distributed index propagates it into worker RPCs); tests
@@ -155,6 +162,9 @@ func New(cfg Config) (*Server, error) {
 	case cfg.CacheSize > 0:
 		s.cache = newLRUCache(cfg.CacheSize)
 	}
+	if cfg.TraceStore >= 0 {
+		s.traces = obs.NewTraceStore(cfg.TraceStore, 0) // 0s: default 256 traces, 4 exemplars/bucket
+	}
 	return s, nil
 }
 
@@ -169,6 +179,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/backbones", s.handleBackbones)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.traces != nil {
+		mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	}
 	if s.pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -359,30 +372,74 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.URL.Query().Get("trace") == "1" {
-		s.serveTraced(w, r, opt)
+		s.serveTraced(w, r, cacheKey(&req), opt)
 		return
 	}
-	s.serveCached(w, r, cacheKey(&req), true, s.mineProduce(opt))
+	s.serveCached(w, r, cacheKey(&req), true, s.mineProduce("/v1/mine", opt))
 }
 
 // TraceResponse is the ?trace=1 payload: the normal mining result plus
-// the request's spans. TotalMs is the run's wall clock; the spans sum
-// to approximately it (stage spans nest under no parent, so the
-// top-level stage1/stage2 pair covers the run).
+// the spans of the run that produced it. Source says where those spans
+// came from — "mined" (this request led a fresh run), "cache" (a hot
+// key: the cached bytes plus the STORED trace of the original run) or
+// "coalesced" (this request shared another's in-flight run and shows
+// that run's trace). TotalMs is the producing run's wall clock; on a
+// cache hit the spans may be empty if the original run's trace has
+// aged out of the trace store.
 type TraceResponse struct {
 	RequestID string                 `json:"request_id"`
+	TraceID   string                 `json:"trace_id,omitempty"`
+	Source    string                 `json:"source,omitempty"`
 	TotalMs   float64                `json:"total_ms"`
 	Spans     []skinnymine.TraceSpan `json:"spans"`
 	Result    json.RawMessage        `json:"result"`
 }
 
 // serveTraced answers one mining request with its trace attached.
-// Traced requests bypass the LRU cache and coalescing by design — a
-// cached body has no spans to show, and a coalesced follower would see
-// the leader's — but still take an admission slot and count under runs
-// and the latency histogram. They never touch the hit/miss/coalesced
-// ledger, which tracks only cacheable requests.
-func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request, opt skinnymine.Options) {
+// Traced requests ride the same guard stack as untraced ones — cache,
+// coalescing, admission gate, the hit/miss/coalesced ledger — because
+// the trace store retains every run's spans: a hot key serves the
+// cached bytes plus the stored trace of the original run instead of
+// paying a full mine for visibility (it used to bypass the cache and
+// re-mine). With the store disabled the old bypass behavior remains,
+// as the only way to get spans then is to run fresh.
+func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request, key string, opt skinnymine.Options) {
+	if s.traces == nil {
+		s.serveTracedBypass(w, r, opt)
+		return
+	}
+	body, source, traceID, err := s.execute(r, key, true, s.mineProduce("/v1/mine", opt))
+	if err != nil {
+		s.writeError(w, errStatus(err), err.Error())
+		return
+	}
+	resp := TraceResponse{
+		RequestID: obs.RequestID(r.Context()),
+		TraceID:   traceID,
+		Result:    json.RawMessage(body),
+	}
+	switch source {
+	case "hit":
+		resp.Source = "cache"
+	case "coalesced":
+		resp.Source = "coalesced"
+	default:
+		resp.Source = "mined"
+	}
+	if st, ok := s.traces.Get(traceID); ok {
+		resp.TotalMs = st.DurationMs
+		resp.Spans = toTraceSpans(st.Spans)
+	}
+	w.Header().Set("X-Result-Source", source)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// serveTracedBypass is the pre-store ?trace=1 path, kept for servers
+// running with the trace store disabled: bypass the cache and
+// coalescing (a cached body has no spans to show), run fresh, return
+// the run's own spans. Takes an admission slot and counts under runs
+// and latency, but not the cache ledger.
+func (s *Server) serveTracedBypass(w http.ResponseWriter, r *http.Request, opt skinnymine.Options) {
 	release, err := s.admit(r.Context())
 	if err != nil {
 		s.writeError(w, errStatus(err), err.Error())
@@ -411,27 +468,39 @@ func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request, opt skinnym
 	w.Header().Set("X-Result-Source", "traced")
 	s.writeJSON(w, http.StatusOK, TraceResponse{
 		RequestID: obs.RequestID(r.Context()),
+		Source:    "mined",
 		TotalMs:   float64(dur.Microseconds()) / 1000,
 		Spans:     tr.Spans(),
 		Result:    json.RawMessage(buf.Bytes()),
 	})
 }
 
+// produced is what one producer run yields: the serialized response
+// body plus the trace ID (the leader request's ID) under which the
+// run's spans live in the trace store — "" when nothing was recorded.
+type produced struct {
+	body    []byte
+	traceID string
+}
+
 // mineProduce returns the producer for one mining request: run the
-// request, record latency, serialize the wire body. Shared by /v1/mine
-// and /v1/batch so both feed the same /metrics mine section. The
-// context is the leader request's: its deadline and cancellation reach
-// a distributed index's worker RPCs.
-func (s *Server) mineProduce(opt skinnymine.Options) func(context.Context) ([]byte, error) {
-	return func(ctx context.Context) ([]byte, error) {
+// request, record latency and — with the trace store on — the run's
+// full span set, serialize the wire body. Shared by /v1/mine and
+// /v1/batch so both feed the same /metrics mine section. The context
+// is the leader request's: its deadline and cancellation reach a
+// distributed index's worker RPCs.
+func (s *Server) mineProduce(endpoint string, opt skinnymine.Options) func(context.Context) (produced, error) {
+	return func(ctx context.Context) (produced, error) {
 		s.metrics.mine.inFlight.Add(1)
 		defer s.metrics.mine.inFlight.Add(-1)
 		s.metrics.mine.runs.Add(1)
-		// With a slow-query threshold set, record spans speculatively:
-		// whether a run was slow is only known after it finishes, and a
-		// slow-query line without the stage breakdown answers nothing.
+		// With the trace store on, every run records spans — that is the
+		// store's point: the fleet explains itself after the fact, not
+		// only when ?trace=1 was guessed in advance. Without it, spans
+		// are still recorded speculatively for the slow-query log
+		// (whether a run was slow is only known once it finishes).
 		var qt *obs.Trace
-		if s.slowQry > 0 && obs.TraceFromContext(ctx) == nil {
+		if (s.traces != nil || s.slowQry > 0) && obs.TraceFromContext(ctx) == nil {
 			qt = obs.NewTrace()
 			ctx = obs.NewContext(ctx, qt)
 		}
@@ -439,15 +508,28 @@ func (s *Server) mineProduce(opt skinnymine.Options) func(context.Context) ([]by
 		res, err := s.mineFn(ctx, opt)
 		dur := time.Since(t0)
 		if err != nil {
-			return nil, err
+			return produced{}, err
 		}
 		s.metrics.observeMine(dur)
+		traceID := obs.RequestID(ctx)
+		if s.traces != nil && qt != nil {
+			spans := qt.Snapshot()
+			s.traces.Record(obs.StoredTrace{
+				ID: traceID, Endpoint: endpoint, Source: "miss", Start: t0,
+				DurationMs: float64(dur.Microseconds()) / 1000,
+				Workers:    countWorkerShards(spans), Spans: spans,
+			})
+		}
 		if s.slowQry > 0 && dur >= s.slowQry {
 			s.metrics.mine.slowQueries.Add(1)
 			attrs := []any{
 				"dur_ms", float64(dur.Microseconds()) / 1000,
 				"length", opt.Length, "delta", opt.Delta,
 				"request_id", obs.RequestID(ctx),
+			}
+			if s.traces != nil {
+				// The stored trace outlives this log line; link it.
+				attrs = append(attrs, "trace", "/debug/traces?id="+traceID)
 			}
 			if qt != nil {
 				if b, err := json.Marshal(qt.Snapshot()); err == nil {
@@ -458,16 +540,16 @@ func (s *Server) mineProduce(opt skinnymine.Options) func(context.Context) ([]by
 		}
 		var buf bytes.Buffer
 		if err := res.WriteJSON(&buf); err != nil {
-			return nil, err
+			return produced{}, err
 		}
-		return buf.Bytes(), nil
+		return produced{body: buf.Bytes(), traceID: traceID}, nil
 	}
 }
 
 // serveCached runs the throughput guards around produce (execute) and
 // writes the outcome as an HTTP response.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, trackMine bool, produce func(context.Context) ([]byte, error)) {
-	body, source, err := s.execute(r, key, trackMine, produce)
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, trackMine bool, produce func(context.Context) (produced, error)) {
+	body, source, _, err := s.execute(r, key, trackMine, produce)
 	if err != nil {
 		// Input was validated before produce, so a failed run is the
 		// server's problem: 503 for admission cancellation, 500 otherwise.
@@ -508,23 +590,26 @@ func errStatus(err error) int {
 // concurrent requests, and the bounded-concurrency admission gate.
 // produce runs with an admission slot held and returns the response
 // body, which is cached on success and tagged with where it came from
-// ("hit", "miss" or "coalesced"). trackMine folds cache and error
-// counts into the /metrics mine section (the mining endpoints'
-// bookkeeping; other endpoints only ride the guards). Both /v1/mine
-// and every unique /v1/batch entry funnel through here, so batch and
-// single requests share one cache, one coalescing domain, and one
-// admission gate.
-func (s *Server) execute(r *http.Request, key string, trackMine bool, produce func(context.Context) ([]byte, error)) (body []byte, source string, err error) {
+// ("hit", "miss" or "coalesced") plus the trace ID of the producing
+// run (so ?trace=1 and /debug/traces can find its spans later).
+// trackMine folds cache and error counts into the /metrics mine
+// section and records span-less trace-store entries for hit/coalesced
+// requests (the mining endpoints' bookkeeping; other endpoints only
+// ride the guards). Both /v1/mine and every unique /v1/batch entry
+// funnel through here, so batch and single requests share one cache,
+// one coalescing domain, and one admission gate.
+func (s *Server) execute(r *http.Request, key string, trackMine bool, produce func(context.Context) (produced, error)) (body []byte, source, traceID string, err error) {
 	if s.cache != nil {
-		if body, ok := s.cache.get(key); ok {
+		if body, tid, ok := s.cache.get(key); ok {
 			if trackMine {
 				s.metrics.mine.cacheHits.Add(1)
+				s.recordServed(r, "hit", tid)
 			}
-			return body, "hit", nil
+			return body, "hit", tid, nil
 		}
 	}
 
-	run := func() ([]byte, error) {
+	run := func() (produced, error) {
 		// A cache miss is counted HERE, by the one request that became
 		// the leader — not by every request that missed the LRU. A
 		// follower that coalesces onto an in-flight run counts only
@@ -536,21 +621,22 @@ func (s *Server) execute(r *http.Request, key string, trackMine bool, produce fu
 		}
 		release, err := s.admit(r.Context())
 		if err != nil {
-			return nil, err
+			return produced{}, err
 		}
 		defer release()
-		body, err := produce(r.Context())
+		p, err := produce(r.Context())
 		if err != nil {
-			return nil, err
+			return produced{}, err
 		}
 		if s.cache != nil {
-			s.cache.put(key, body)
+			s.cache.put(key, p.body, p.traceID)
 		}
-		return body, nil
+		return p, nil
 	}
 	var shared bool
+	var p produced
 	for {
-		body, err, shared = s.flights.do(r.Context(), key, run)
+		p, err, shared = s.flights.do(r.Context(), key, run)
 		// A shared admission-cancel error is the leader's client
 		// vanishing, not ours: retry with this request as the leader.
 		// (Our own cancellation fails the retry guard — r.Context() is
@@ -567,13 +653,34 @@ func (s *Server) execute(r *http.Request, key string, trackMine bool, produce fu
 		if trackMine {
 			s.metrics.mine.errors.Add(1)
 		}
-		return nil, "", err
+		return nil, "", "", err
 	}
 	source = "miss"
 	if shared {
 		source = "coalesced"
+		if trackMine {
+			s.recordServed(r, "coalesced", p.traceID)
+		}
 	}
-	return body, source, nil
+	return p.body, source, p.traceID, nil
+}
+
+// recordServed retains a span-less trace-store entry for a request
+// answered without leading a run — a cache hit or a coalesced follower
+// — pointing at the producing run's trace via RunID. /debug/traces
+// then lists every mining request with how it was served, not only the
+// runs.
+func (s *Server) recordServed(r *http.Request, source, runID string) {
+	if s.traces == nil {
+		return
+	}
+	s.traces.Record(obs.StoredTrace{
+		ID:       obs.RequestID(r.Context()),
+		Endpoint: r.URL.Path,
+		Source:   source,
+		Start:    time.Now(),
+		RunID:    runID,
+	})
 }
 
 // writeBody emits a pre-serialized ResultJSON, tagging where it came
@@ -613,15 +720,16 @@ func (s *Server) handleBackbones(w http.ResponseWriter, r *http.Request) {
 	}
 	// A cache-miss backbones request materializes a Stage I level —
 	// real mining work — so it rides the same guards as /v1/mine.
-	s.serveCached(w, r, fmt.Sprintf("backbones l=%d", l), false, func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, fmt.Sprintf("backbones l=%d", l), false, func(ctx context.Context) (produced, error) {
 		bbs, err := s.ix.MinimalBackbonesContext(ctx, l)
 		if err != nil {
-			return nil, err
+			return produced{}, err
 		}
 		if bbs == nil {
 			bbs = [][]string{}
 		}
-		return marshalIndented(BackbonesResponse{L: l, Count: len(bbs), Backbones: bbs})
+		body, err := marshalIndented(BackbonesResponse{L: l, Count: len(bbs), Backbones: bbs})
+		return produced{body: body}, err
 	})
 }
 

@@ -384,14 +384,14 @@ func TestFlightGroupSurvivesPanic(t *testing.T) {
 				t.Fatal("panic should propagate to the leader")
 			}
 		}()
-		g.do(context.Background(), "k", func() ([]byte, error) { panic("boom") })
+		g.do(context.Background(), "k", func() (produced, error) { panic("boom") })
 	}()
 	if len(g.calls) != 0 {
 		t.Fatal("panicked call left registered")
 	}
-	body, err, shared := g.do(context.Background(), "k", func() ([]byte, error) { return []byte("ok"), nil })
-	if err != nil || shared || string(body) != "ok" {
-		t.Fatalf("key unusable after panic: body=%q err=%v shared=%v", body, err, shared)
+	res, err, shared := g.do(context.Background(), "k", func() (produced, error) { return produced{body: []byte("ok")}, nil })
+	if err != nil || shared || string(res.body) != "ok" {
+		t.Fatalf("key unusable after panic: body=%q err=%v shared=%v", res.body, err, shared)
 	}
 }
 
@@ -403,15 +403,15 @@ func TestNewRequiresIndex(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	c := newLRUCache(2)
-	c.put("a", []byte("1"))
-	c.put("b", []byte("2"))
+	c.put("a", []byte("1"), "t-a")
+	c.put("b", []byte("2"), "")
 	c.get("a") // promote a
-	c.put("c", []byte("3"))
-	if _, ok := c.get("b"); ok {
+	c.put("c", []byte("3"), "")
+	if _, _, ok := c.get("b"); ok {
 		t.Error("b should have been evicted")
 	}
-	if _, ok := c.get("a"); !ok {
-		t.Error("a should have survived")
+	if _, tid, ok := c.get("a"); !ok || tid != "t-a" {
+		t.Error("a should have survived with its trace ID")
 	}
 	if c.len() != 2 {
 		t.Errorf("len %d, want 2", c.len())

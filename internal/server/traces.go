@@ -1,0 +1,165 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"time"
+
+	"skinnymine"
+	"skinnymine/internal/obs"
+)
+
+// TraceSummary is one row of the GET /debug/traces listing: a recent
+// request's identity, how it was served, and its shape — enough to
+// pick the trace worth opening with ?id=.
+type TraceSummary struct {
+	ID         string    `json:"id"`
+	Endpoint   string    `json:"endpoint"`
+	Source     string    `json:"source"` // "miss" (led a run), "hit", "coalesced"
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+	Workers    int       `json:"workers"`
+	RunID      string    `json:"run_id,omitempty"` // producing run, for hit/coalesced rows
+}
+
+// TraceListResponse is the GET /debug/traces payload, newest first.
+type TraceListResponse struct {
+	Count  int            `json:"count"`
+	Traces []TraceSummary `json:"traces"`
+}
+
+// SpanNode is one span in a stitched trace tree: a timed region with
+// the spans whose intervals nest inside it as children — worker spans
+// grafted under their worker.rpc envelope, stage spans under the run.
+type SpanNode struct {
+	Name       string         `json:"name"`
+	StartUs    int64          `json:"start_us"`
+	DurationUs int64          `json:"duration_us"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []SpanNode     `json:"children,omitempty"`
+}
+
+// TraceDetail is the GET /debug/traces?id= payload: one retained
+// trace with its spans rebuilt into a tree.
+type TraceDetail struct {
+	TraceSummary
+	Spans []SpanNode `json:"spans"`
+}
+
+// handleTraces serves the always-on trace store: without ?id= the
+// newest-first listing, with ?id= the full span tree of one retained
+// trace (404 once it has aged out of both the ring and the exemplar
+// reservoirs).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.traces.Add(1)
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		stored := s.traces.List()
+		resp := TraceListResponse{Count: len(stored), Traces: make([]TraceSummary, len(stored))}
+		for i, st := range stored {
+			resp.Traces[i] = toTraceSummary(st)
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	st, ok := s.traces.Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no retained trace with id "+id+" (it may have aged out of the trace store)")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, TraceDetail{
+		TraceSummary: toTraceSummary(st),
+		Spans:        buildSpanTree(st.Spans),
+	})
+}
+
+func toTraceSummary(st obs.StoredTrace) TraceSummary {
+	return TraceSummary{
+		ID: st.ID, Endpoint: st.Endpoint, Source: st.Source, Start: st.Start,
+		DurationMs: st.DurationMs, Workers: st.Workers, RunID: st.RunID,
+	}
+}
+
+// toTraceSpans converts stored spans to the public flat form the
+// ?trace=1 response uses.
+func toTraceSpans(spans []obs.SpanData) []skinnymine.TraceSpan {
+	out := make([]skinnymine.TraceSpan, len(spans))
+	for i, sp := range spans {
+		out[i] = skinnymine.TraceSpan{Name: sp.Name, StartUs: sp.StartUs, DurationUs: sp.DurationUs, Attrs: sp.Attrs}
+	}
+	return out
+}
+
+// countWorkerShards counts the distinct shard workers that contributed
+// to a run: the "shard" tags on its worker.rpc spans.
+func countWorkerShards(spans []obs.SpanData) int {
+	var seen map[any]bool
+	for _, sp := range spans {
+		if sp.Name != "worker.rpc" {
+			continue
+		}
+		if v, ok := sp.Attrs["shard"]; ok {
+			if seen == nil {
+				seen = make(map[any]bool, 4)
+			}
+			seen[v] = true
+		}
+	}
+	return len(seen)
+}
+
+// spanTreeSlackUs is the nesting tolerance: a span may overhang its
+// would-be parent's end by this much and still count as a child.
+// Grafted worker spans end strictly inside their RPC envelope by
+// construction, and sibling coordinator spans share one monotonic
+// clock truncated to whole µs — so a real child never overhangs by
+// more than a rounding step, and anything past that is a sibling.
+// Keep this tight: a generous slack makes back-to-back µs-scale
+// siblings (decode → stage1 → encode) nest inside each other.
+const spanTreeSlackUs = 2
+
+// buildSpanTree nests a flat span list by interval containment: spans
+// carry no parent IDs (instrumentation sites stay one line), but a
+// child's [start, end] always lies inside its parent's, so sorting by
+// start (ties: longer first) and keeping a stack of open ancestors
+// rebuilds the tree the instrumentation implied. Spans that fit no
+// open ancestor — the stage roots, concurrent top-level work — become
+// roots.
+func buildSpanTree(spans []obs.SpanData) []SpanNode {
+	if len(spans) == 0 {
+		return []SpanNode{}
+	}
+	idx := make([]int, len(spans))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa, sb := spans[idx[a]], spans[idx[b]]
+		if sa.StartUs != sb.StartUs {
+			return sa.StartUs < sb.StartUs
+		}
+		return sa.DurationUs > sb.DurationUs
+	})
+	roots := []SpanNode{}
+	type open struct {
+		node  *SpanNode
+		endUs int64
+	}
+	var stack []open
+	for _, i := range idx {
+		sp := spans[i]
+		node := SpanNode{Name: sp.Name, StartUs: sp.StartUs, DurationUs: sp.DurationUs, Attrs: sp.Attrs}
+		for len(stack) > 0 && sp.StartUs+sp.DurationUs > stack[len(stack)-1].endUs+spanTreeSlackUs {
+			stack = stack[:len(stack)-1]
+		}
+		var slot *[]SpanNode
+		if len(stack) == 0 {
+			slot = &roots
+		} else {
+			slot = &stack[len(stack)-1].node.Children
+		}
+		*slot = append(*slot, node)
+		stack = append(stack, open{node: &(*slot)[len(*slot)-1], endUs: sp.StartUs + sp.DurationUs})
+	}
+	return roots
+}

@@ -3,6 +3,7 @@ package shard
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -49,8 +50,8 @@ type RemoteConfig struct {
 	// try; first answer wins. <= 0 disables hedging.
 	HedgeAfter time.Duration
 	// ProbeInterval is the period of the background health probe per
-	// worker (GET /shard/v1/info). <= 0 disables probing; health then
-	// only reflects the outcome of real candidate RPCs.
+	// worker (GET /skinnymine/v1/info). <= 0 disables probing; health
+	// then only reflects the outcome of real candidate RPCs.
 	ProbeInterval time.Duration
 }
 
@@ -168,6 +169,7 @@ type remoteRunner struct {
 type remoteWorker struct {
 	addr     string
 	base     string  // normalized http://host:port
+	shard    int
 	crc      string  // 8 hex digits, pinned in every request
 	toGlobal []int32 // shard-local index -> global GID
 	toLocal  map[int32]int32
@@ -211,6 +213,7 @@ func newRemoteRunner(assign [][]int32, crcs []uint32, numLabels int, cfg RemoteC
 		w := &remoteWorker{
 			addr:     cfg.Workers[s],
 			base:     base,
+			shard:    s,
 			crc:      fmt.Sprintf("%08x", crcs[s]),
 			toGlobal: gids,
 			toLocal:  make(map[int32]int32, len(gids)),
@@ -505,12 +508,22 @@ func (r *remoteRunner) rpc(ctx context.Context, w *remoteWorker, u string, body 
 	if id := obs.RequestID(ctx); id != "" {
 		req.Header.Set(obs.RequestIDHeader, id)
 	}
+	// When this request is being traced, ask the worker for its own
+	// spans so the coordinator can stitch one tree across the fleet.
+	// Opt-in per request: untraced traffic costs the worker nothing.
+	tr := obs.TraceFromContext(ctx)
+	if tr != nil {
+		req.Header.Set(TraceHeader, "1")
+	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/octet-stream")
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		r.graftWorkerSpans(tr, w, resp.Header.Get(SpansHeader), t0)
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
@@ -541,6 +554,34 @@ func (r *remoteRunner) rpc(ctx context.Context, w *remoteWorker, u string, body 
 		}
 	}
 	return ps, nil
+}
+
+// graftWorkerSpans stitches a worker's spans (compact JSON from the
+// SpansHeader of a traced response) into the request's trace, tagged
+// with the worker's shard and address, rebased against t0 — the moment
+// THIS process opened the exchange, measured on this process's clock.
+// The worker's offsets are relative to its own request start, so the
+// two clocks never mix and skew cannot produce negative offsets
+// (Trace.Graft additionally clamps hostile inputs). The grafted spans
+// land inside the enclosing worker.rpc span's interval, which is how
+// the trace renderer nests them. Best-effort observation only: a
+// missing or malformed header changes nothing about the call.
+func (r *remoteRunner) graftWorkerSpans(tr *obs.Trace, w *remoteWorker, js string, t0 time.Time) {
+	if js == "" {
+		return
+	}
+	var spans []obs.SpanData
+	if err := json.Unmarshal([]byte(js), &spans); err != nil {
+		return
+	}
+	for i := range spans {
+		if spans[i].Attrs == nil {
+			spans[i].Attrs = make(map[string]any, 2)
+		}
+		spans[i].Attrs["shard"] = int64(w.shard)
+		spans[i].Attrs["addr"] = w.addr
+	}
+	tr.Graft(spans, t0)
 }
 
 // project copies a level's patterns with GIDs remapped global→local

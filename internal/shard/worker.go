@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"time"
 
@@ -17,12 +19,16 @@ import (
 
 // Worker HTTP protocol, served by one process per shard file:
 //
-//	GET  /shard/v1/info        identity probe: graph count, σ, shard CRC
-//	POST /shard/v1/candidates  one Stage I op; query selects it:
+//	GET  /skinnymine/v1/info        identity probe: graph count, σ, shard
+//	                                CRC, shard index, uptime, build info
+//	POST /skinnymine/v1/candidates  one Stage I op; query selects it:
 //	      op=edges                      level-1 candidates (no body)
 //	      op=concat                     double the posted level (body)
 //	      op=merge&l=L&m=M              overlap the posted level (body)
 //	      workers=N                     join fan-out inside the shard
+//
+// (The pre-rename /shard/v1/* paths stay registered as aliases so an
+// old coordinator or probe keeps working against a new worker.)
 //
 // Candidate sets travel both ways as indexio level-set streams
 // (LevelMagic) with SHARD-LOCAL graph IDs — the coordinator owns the
@@ -32,13 +38,30 @@ import (
 // ShardCRCHeader; a mismatch is answered 409 so a miswired fleet fails
 // loudly and permanently instead of mining garbage.
 const (
-	WorkerInfoPath       = "/shard/v1/info"
-	WorkerCandidatesPath = "/shard/v1/candidates"
+	WorkerInfoPath       = "/skinnymine/v1/info"
+	WorkerCandidatesPath = "/skinnymine/v1/candidates"
+
+	// Legacy aliases from before the protocol rename.
+	legacyInfoPath       = "/shard/v1/info"
+	legacyCandidatesPath = "/shard/v1/candidates"
 
 	// ShardCRCHeader carries the CRC-32C (Castagnoli, 8 lowercase hex
 	// digits) of the shard snapshot file the coordinator believes this
 	// worker serves — the same checksum the manifest records.
 	ShardCRCHeader = "X-Skinnymine-Shard-Crc"
+
+	// TraceHeader opts a candidate request into span recording: when it
+	// is "1", the worker times its decode / Stage I op / encode phases
+	// under a recording trace and returns the completed spans as compact
+	// JSON in SpansHeader, offsets relative to the worker's own request
+	// start. Tracing is visibility only — the response body is
+	// byte-identical either way (refguard-pinned).
+	TraceHeader = "X-Skinnymine-Trace"
+
+	// SpansHeader carries the worker's []obs.SpanData as one line of
+	// JSON on a traced candidate response, for the coordinator to graft
+	// under its worker.rpc span.
+	SpansHeader = "X-Skinnymine-Spans"
 )
 
 // Worker serves Stage I candidate generation for one shard's graphs
@@ -52,16 +75,24 @@ type Worker struct {
 	numLabels int
 	sigma     int
 	crc       uint32
+	shard     int // manifest shard index, -1 when unknown
+	start     time.Time
 	mux       *http.ServeMux
 	log       *slog.Logger
 }
 
-// WorkerInfo is the /shard/v1/info response body.
+// WorkerInfo is the /skinnymine/v1/info (and /healthz) response body:
+// enough identity for an operator — or skinnytop — to spot a miswired
+// or stale worker before a 409 does.
 type WorkerInfo struct {
-	Status string `json:"status"`
-	Graphs int    `json:"graphs"`
-	Sigma  int    `json:"sigma"`
-	CRC    string `json:"crc"` // 8 lowercase hex digits, CRC-32C
+	Status        string  `json:"status"`
+	Graphs        int     `json:"graphs"`
+	Sigma         int     `json:"sigma"`
+	CRC           string  `json:"crc"`   // 8 lowercase hex digits, CRC-32C
+	Shard         int     `json:"shard"` // manifest shard index, -1 when unknown
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Revision      string  `json:"revision,omitempty"` // VCS revision baked into the binary
 }
 
 // NewWorker returns a worker serving the given shard content. graphs
@@ -79,6 +110,8 @@ func NewWorker(graphs []*graph.Graph, numLabels, sigma int, crc uint32) (*Worker
 		numLabels: numLabels,
 		sigma:     sigma,
 		crc:       crc,
+		shard:     -1,
+		start:     time.Now(),
 		mux:       http.NewServeMux(),
 		log:       slog.Default(),
 	}
@@ -87,9 +120,16 @@ func NewWorker(graphs []*graph.Graph, numLabels, sigma int, crc uint32) (*Worker
 	}
 	w.mux.HandleFunc(WorkerInfoPath, w.handleInfo)
 	w.mux.HandleFunc(WorkerCandidatesPath, w.handleCandidates)
+	w.mux.HandleFunc(legacyInfoPath, w.handleInfo)
+	w.mux.HandleFunc(legacyCandidatesPath, w.handleCandidates)
 	w.mux.HandleFunc("/healthz", w.handleInfo)
 	return w, nil
 }
+
+// SetShard records the manifest shard index this worker serves, for the
+// info probe (default -1, unknown). Call before serving, like
+// SetLogger.
+func (w *Worker) SetShard(s int) { w.shard = s }
 
 // SetLogger replaces the worker's structured logger (default:
 // slog.Default()). Call it before serving, not concurrently with
@@ -116,13 +156,30 @@ func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 	w.mux.ServeHTTP(rw, r)
 }
 
+// buildRevision is the VCS revision stamped into the binary, resolved
+// once — ReadBuildInfo walks the whole dependency table.
+var buildRevision = func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return ""
+}()
+
 func (w *Worker) handleInfo(rw http.ResponseWriter, r *http.Request) {
 	rw.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(rw).Encode(WorkerInfo{
-		Status: "ok",
-		Graphs: len(w.graphs),
-		Sigma:  w.sigma,
-		CRC:    fmt.Sprintf("%08x", w.crc),
+		Status:        "ok",
+		Graphs:        len(w.graphs),
+		Sigma:         w.sigma,
+		CRC:           fmt.Sprintf("%08x", w.crc),
+		Shard:         w.shard,
+		UptimeSeconds: time.Since(w.start).Seconds(),
+		GoVersion:     runtime.Version(),
+		Revision:      buildRevision,
 	})
 }
 
@@ -133,6 +190,17 @@ func (w *Worker) handleCandidates(rw http.ResponseWriter, r *http.Request) {
 	reqID := r.Header.Get(obs.RequestIDHeader)
 	if reqID != "" {
 		rw.Header().Set(obs.RequestIDHeader, reqID)
+	}
+	// Opt-in span recording: offsets are relative to THIS trace's start
+	// (the request's arrival), so the coordinator can rebase them against
+	// its own clock without ever seeing ours — clock skew cannot reach
+	// the stitched tree. Tracing must not change the response bytes
+	// (refguard-pinned), only add the SpansHeader.
+	var wtr *obs.Trace
+	tracer := obs.Nop
+	if r.Header.Get(TraceHeader) == "1" {
+		wtr = obs.NewTrace()
+		tracer = wtr
 	}
 	t0 := time.Now()
 	op := r.URL.Query().Get("op")
@@ -161,17 +229,31 @@ func (w *Worker) handleCandidates(rw http.ResponseWriter, r *http.Request) {
 		fail(http.StatusInternalServerError, err.Error())
 		return
 	}
-	var out []*core.PathPattern
+	// readLevel under a decode span tagged with what came off the wire.
+	decode := func() ([]*core.PathPattern, error) {
+		sp := tracer.Start("worker.decode")
+		ps, err := w.readLevel(r)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
+		sp.TagInt("patterns", int64(len(ps))).TagInt("embeddings", countEmbeddings(ps)).End()
+		return ps, nil
+	}
+	// Validation and decode settle the op's inputs first; the stage1
+	// span then times exactly the candidate generation, with decode and
+	// encode as siblings, not children.
+	var runOp func() []*core.PathPattern
 	switch op {
 	case "edges":
-		out = st.EdgeCandidates()
+		runOp = st.EdgeCandidates
 	case "concat":
-		prev, err := w.readLevel(r)
+		prev, err := decode()
 		if err != nil {
 			fail(http.StatusBadRequest, err.Error())
 			return
 		}
-		out = st.ConcatCandidates(prev, workers)
+		runOp = func() []*core.PathPattern { return st.ConcatCandidates(prev, workers) }
 	case "merge":
 		l, err := queryInt(q.Get("l"), 0)
 		if err != nil {
@@ -187,20 +269,32 @@ func (w *Worker) handleCandidates(rw http.ResponseWriter, r *http.Request) {
 			fail(http.StatusBadRequest, fmt.Sprintf("merge requires m < l < 2m, got l=%d m=%d", l, m))
 			return
 		}
-		pool, err := w.readLevel(r)
+		pool, err := decode()
 		if err != nil {
 			fail(http.StatusBadRequest, err.Error())
 			return
 		}
-		out = st.MergeCandidates(pool, l, m, workers)
+		runOp = func() []*core.PathPattern { return st.MergeCandidates(pool, l, m, workers) }
 	default:
 		fail(http.StatusBadRequest, fmt.Sprintf("unknown op %q", op))
 		return
 	}
+	sp1 := tracer.Start("worker.stage1").Tag("op", op)
+	out := runOp()
+	sp1.TagInt("candidates", int64(len(out))).TagInt("embeddings", countEmbeddings(out)).End()
 	var buf bytes.Buffer
+	spEnc := tracer.Start("worker.encode")
 	if err := indexio.SaveLevel(&buf, out); err != nil {
 		fail(http.StatusInternalServerError, err.Error())
 		return
+	}
+	spEnc.TagInt("bytes", int64(buf.Len())).End()
+	if wtr != nil {
+		// Compact single-line JSON; SpanData attrs are string/int64 only,
+		// so the encoding is header-safe. Must go out before the body.
+		if js, err := json.Marshal(wtr.Snapshot()); err == nil {
+			rw.Header().Set(SpansHeader, string(js))
+		}
 	}
 	rw.Header().Set("Content-Type", "application/octet-stream")
 	rw.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
@@ -230,6 +324,15 @@ func (w *Worker) readLevel(r *http.Request) ([]*core.PathPattern, error) {
 		}
 	}
 	return ps, nil
+}
+
+// countEmbeddings totals the embedding lists of a level, for span tags.
+func countEmbeddings(ps []*core.PathPattern) int64 {
+	var n int64
+	for _, p := range ps {
+		n += int64(len(p.Embs))
+	}
+	return n
 }
 
 // queryInt parses a positive-int query parameter, defaulting when

@@ -16,8 +16,13 @@
 # log through every worker's candidates log, /metrics carries the 404
 # counter and latency histograms (plus per-worker RPC counters on a
 # coordinator), ?trace=1 returns spans without changing the result,
-# and ?format=prom renders the Prometheus exposition. Requires curl
-# and jq.
+# and ?format=prom renders the Prometheus exposition. The stitched
+# tracing section mines through the fleet with tracing on, diffs the
+# result byte-for-byte against the CLI (tracing changes visibility,
+# never bytes), and asserts /debug/traces?id= returns one span tree
+# whose worker.rpc envelopes contain the workers' own spans with
+# non-negative offsets; skinnytop -once must render the fleet.
+# Requires curl and jq.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,9 +44,10 @@ trap cleanup EXIT
 
 # Reuse prebuilt binaries (CI sets BIN_DIR after its build step) or
 # build them here.
-if [ -n "${BIN_DIR:-}" ] && [ -x "$BIN_DIR/skinnymined" ] && [ -x "$BIN_DIR/skinnymine" ]; then
+if [ -n "${BIN_DIR:-}" ] && [ -x "$BIN_DIR/skinnymined" ] && [ -x "$BIN_DIR/skinnymine" ] \
+   && [ -x "$BIN_DIR/skinnytop" ]; then
   mkdir -p "$workdir/bin"
-  cp "$BIN_DIR/skinnymine" "$BIN_DIR/skinnymined" "$workdir/bin/"
+  cp "$BIN_DIR/skinnymine" "$BIN_DIR/skinnymined" "$BIN_DIR/skinnytop" "$workdir/bin/"
 else
   go build -o "$workdir/bin/" ./cmd/...
 fi
@@ -345,6 +351,44 @@ curl -sf "$basec/metrics" > "$workdir/metricsc.json"
 jq -e '(.workers | length) == 2 and ([.workers[].requests] | add) > 0
        and ([.workers[].latency_ms.count] | add) > 0' "$workdir/metricsc.json" > /dev/null \
   || { echo "FAIL: coordinator worker metrics say $(jq '.workers' "$workdir/metricsc.json")"; exit 1; }
+
+echo "== stitched distributed trace: tracing on is byte-identical, /debug/traces has worker spans"
+# Level 6 is not materialized, so this traced mine must fan out to the
+# fleet with the span opt-in header set — and still produce the exact
+# bytes the in-process CLI does.
+"$workdir/bin/skinnymine" -input "$workdir/graphdb.txt" -support 2 -length 6 -delta 1 \
+  -json > "$workdir/db-l6.json"
+curl -sf -H 'X-Request-Id: smoke-stitch-rid' "$basec/v1/mine?trace=1" \
+  -d '{"length":6,"delta":1}' > "$workdir/stitch-trace.json" \
+  || { echo "FAIL: traced distributed mine failed"; exit 1; }
+jq -e '.source == "mined" and .trace_id == "smoke-stitch-rid"' "$workdir/stitch-trace.json" > /dev/null \
+  || { echo "FAIL: stitched trace response says $(jq '{source,trace_id}' "$workdir/stitch-trace.json")"; exit 1; }
+diff <(jq "$norm" "$workdir/db-l6.json") <(jq ".result | $norm" "$workdir/stitch-trace.json") \
+  || { echo "FAIL: tracing changed the distributed result bytes"; exit 1; }
+curl -sf "$basec/debug/traces?id=smoke-stitch-rid" > "$workdir/stitch-detail.json" \
+  || { echo "FAIL: /debug/traces?id= lookup failed"; exit 1; }
+jq -e '.workers == 2
+       and ([.. | objects | select(has("start_us"))] | length > 0
+            and all(.start_us >= 0 and .duration_us >= 0))
+       and ([.spans[] | recurse(.children[]?) | select(.name == "worker.rpc")
+             | .children[]? | recurse(.children[]?) | .name]
+            | index("worker.stage1") != null)' \
+  "$workdir/stitch-detail.json" > /dev/null \
+  || { echo "FAIL: stitched span tree says $(cat "$workdir/stitch-detail.json")"; exit 1; }
+curl -sf "$basec/debug/traces" | jq -e '[.traces[].id] | index("smoke-stitch-rid") != null' > /dev/null \
+  || { echo "FAIL: /debug/traces listing lacks the stitched run"; exit 1; }
+
+echo "== skinnytop -once renders the fleet"
+"$workdir/bin/skinnytop" -once "127.0.0.1:$cport" "127.0.0.1:$wport0" > "$workdir/top.txt" \
+  || { echo "FAIL: skinnytop -once exited non-zero"; exit 1; }
+grep -q '\[daemon\]' "$workdir/top.txt" \
+  || { echo "FAIL: skinnytop did not classify the coordinator: $(cat "$workdir/top.txt")"; exit 1; }
+grep -q '\[worker\]' "$workdir/top.txt" \
+  || { echo "FAIL: skinnytop did not classify the worker: $(cat "$workdir/top.txt")"; exit 1; }
+grep -q 'qps' "$workdir/top.txt" \
+  || { echo "FAIL: skinnytop output lacks the rate header: $(cat "$workdir/top.txt")"; exit 1; }
+grep -q 'smoke-stitch-rid' "$workdir/top.txt" \
+  || { echo "FAIL: skinnytop trace panel lacks the stitched run: $(cat "$workdir/top.txt")"; exit 1; }
 
 echo "== graceful shutdown"
 kill -TERM "$coord_pid"
