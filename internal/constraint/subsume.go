@@ -1,0 +1,103 @@
+package constraint
+
+import (
+	"sort"
+	"strings"
+)
+
+// Containment between constraints, the proof obligation behind the
+// serving layer's morphing cache: a cached result for constraint a may
+// answer a request for constraint b by post-filtering alone when b is a
+// provable restriction of a. Conjuncts compare by their canonical
+// rendering (String), so spelling variants of one predicate — already
+// collapsed by parsing — never defeat the containment check.
+
+// render returns a node's canonical rendering, the identity conjuncts
+// compare under.
+func render(n Node) string {
+	var b strings.Builder
+	n.print(&b)
+	return b.String()
+}
+
+// conjunctsOf returns c's top-level conjuncts; nil constraints (and nil
+// expressions) have none.
+func conjunctsOf(c *Constraint) []Node {
+	if c == nil {
+		return nil
+	}
+	return flattenAnd(c.Expr)
+}
+
+// Subsumes reports that a provably subsumes b: the result set mined
+// under constraint b is contained in the result set mined under a, and
+// — the stronger property morphing needs — is exactly the a-result
+// post-filtered by b's expression (plus b's topk clause). Nil stands
+// for the unconstrained request on either side.
+//
+// The proof is built on the pushdown classifier (classify): it holds
+// when every top-level conjunct of a also appears in b (so b never
+// relaxes a), and every conjunct b adds is anti-monotone under the
+// request's support measure (supportAM as in Classify) — size,
+// skinniness and edge caps, forbidden labels, and support floors under
+// the graph-transaction measure. Anti-monotone conjuncts are precisely
+// the ones whose pushdown commutes with post-filtering (the pinned
+// pushdown-equivalence invariant), so the containment is conservative:
+// a false return never lies, it only declines to prove.
+//
+// a must carry no topk clause — a truncated result set proves nothing
+// about what a tighter request would keep. b may carry one: topk
+// selects from the filtered set, which is the same set either way.
+func Subsumes(a, b *Constraint, supportAM bool) bool {
+	if a != nil && a.TopK != nil {
+		return false
+	}
+	inA := make(map[string]bool)
+	for _, conj := range conjunctsOf(a) {
+		inA[render(conj)] = true
+	}
+	matched := make(map[string]bool, len(inA))
+	for _, conj := range conjunctsOf(b) {
+		r := render(conj)
+		if inA[r] {
+			matched[r] = true
+			continue
+		}
+		if am, _ := classify(conj, supportAM); !am {
+			return false
+		}
+	}
+	// Every conjunct of a must survive in b; a dropped conjunct means b
+	// relaxed a somewhere and the containment direction flips.
+	return len(matched) == len(inA)
+}
+
+// Intersect returns the constraint carrying exactly the top-level
+// conjuncts a and b share (by canonical rendering), deduplicated and
+// sorted by rendering so the result is canonical regardless of operand
+// order — the "common conjuncts" a query family's shared plan mines
+// under. Topk clauses never survive: they are result selectors, not
+// predicates. Nil inputs carry no conjuncts, so any intersection with
+// one is empty.
+func Intersect(a, b *Constraint) *Constraint {
+	inB := make(map[string]bool)
+	for _, conj := range conjunctsOf(b) {
+		inB[render(conj)] = true
+	}
+	byRender := make(map[string]Node)
+	var renders []string
+	for _, conj := range conjunctsOf(a) {
+		r := render(conj)
+		if !inB[r] || byRender[r] != nil {
+			continue
+		}
+		byRender[r] = conj
+		renders = append(renders, r)
+	}
+	sort.Strings(renders)
+	conjs := make([]Node, len(renders))
+	for i, r := range renders {
+		conjs[i] = byRender[r]
+	}
+	return &Constraint{Expr: conjoin(conjs)}
+}

@@ -1,0 +1,124 @@
+package constraint_test
+
+// FuzzSubsumes pins the semantic claim behind the morphing cache: when
+// Subsumes(a, b) reports that b is provably tighter than a, mining the
+// same database under b must return a subset of mining it under a —
+// for ANY pair of parseable constraints, not just the ones the
+// hand-written table thought of. The morphing optimizer post-filters a
+// cached superset result instead of mining, so a single false positive
+// here is a wrong answer served from cache. The external test package
+// lets the harness drive the real public mining pipeline
+// (skinnymine.MineDB) against the classifier it ships with.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"skinnymine"
+	"skinnymine/internal/constraint"
+)
+
+// fuzzDB is one tiny fixed database: big enough to make constraints
+// bite (two graphs, shared alphabet, cycles and tails), small enough
+// that each fuzz exec mines in well under a millisecond.
+var fuzzDB = func() []*skinnymine.Graph {
+	c := skinnymine.NewCorpus()
+	mk := func(labels []string, edges [][2]int) *skinnymine.Graph {
+		g := c.NewGraph()
+		ids := make([]skinnymine.VertexID, len(labels))
+		for i, l := range labels {
+			ids[i] = g.AddVertex(l)
+		}
+		for _, e := range edges {
+			if err := g.AddEdge(ids[e[0]], ids[e[1]]); err != nil {
+				panic(err)
+			}
+		}
+		return g
+	}
+	return []*skinnymine.Graph{
+		mk([]string{"a", "b", "c", "a", "b", "c", "a"},
+			[][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {2, 6}}),
+		mk([]string{"b", "a", "c", "a", "b", "a"},
+			[][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {1, 4}}),
+	}
+}()
+
+// patternSet mines fuzzDB under one where-clause and returns the
+// result's patterns as a set of their JSON encodings. The tiny mine is
+// memoized per (where, measure): fuzzing revisits clauses constantly.
+var patternSetCache sync.Map
+
+func patternSet(t *testing.T, where string, measure skinnymine.SupportMeasure) (map[string]bool, error) {
+	ck := fmt.Sprintf("%d|%s", measure, where)
+	if got, ok := patternSetCache.Load(ck); ok {
+		return got.(map[string]bool), nil
+	}
+	res, err := skinnymine.MineDB(fuzzDB, skinnymine.Options{
+		Support: 2, Length: 3, MinLength: 1, Delta: 1,
+		Measure: measure, Where: where,
+	})
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool, len(res.Patterns))
+	for _, p := range res.Patterns {
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set[string(b)] = true
+	}
+	patternSetCache.Store(ck, set)
+	return set, nil
+}
+
+func FuzzSubsumes(f *testing.F) {
+	seeds := [][2]string{
+		{"", "vertices<=6"},
+		{"vertices<=6", "vertices<=6 && edges<=7"},
+		{"vertices<=6", "vertices<=5"},
+		{"contains(label='a')", "contains(label='a') && skinniness<=1"},
+		{"", "support>=3"},
+		{"support>=2", "support>=2 && vertices<=6 && topk(3, by=support)"},
+		{"edges<=8", "vertices<=6"},
+		{"!contains(label='c')", "!contains(label='c') && edges<=6"},
+		{"vertices<=6 || edges<=6", "vertices<=6"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, aSrc, bSrc string) {
+		a, errA := constraint.Parse(aSrc)
+		b, errB := constraint.Parse(bSrc)
+		if errA != nil || errB != nil {
+			return // junk inputs are the parser fuzzer's business
+		}
+		for _, m := range []skinnymine.SupportMeasure{skinnymine.EmbeddingCount, skinnymine.GraphCount} {
+			supportAM := m == skinnymine.GraphCount
+			if !constraint.Subsumes(a, b, supportAM) {
+				continue
+			}
+			wide, errW := patternSet(t, a.String(), m)
+			tight, errT := patternSet(t, b.String(), m)
+			if errW != nil || errT != nil {
+				// A clause can parse yet fail option validation (e.g. a
+				// topk in a) — but then it must fail on BOTH sides or
+				// subsumption claimed containment over nothing.
+				if errW == nil || errT == nil {
+					t.Fatalf("Subsumes(%q, %q) but only one side mines: wide=%v tight=%v",
+						aSrc, bSrc, errW, errT)
+				}
+				continue
+			}
+			for p := range tight {
+				if !wide[p] {
+					t.Fatalf("Subsumes(%q, %q, am=%v) claims containment under measure %d, but pattern %s is in the tight result and not the wide one",
+						aSrc, bSrc, supportAM, m, p)
+				}
+			}
+		}
+	})
+}

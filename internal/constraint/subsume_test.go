@@ -1,0 +1,120 @@
+package constraint
+
+import "testing"
+
+// parseOrNil parses a test expression, mapping "" to the nil
+// (unconstrained) constraint both Subsumes and Intersect accept.
+func parseOrNil(t *testing.T, src string) *Constraint {
+	t.Helper()
+	if src == "" {
+		return nil
+	}
+	return mustParse(t, src)
+}
+
+func TestSubsumes(t *testing.T) {
+	cases := []struct {
+		a, b      string
+		supportAM bool
+		want      bool
+	}{
+		// Identity and the unconstrained superset.
+		{"", "", false, true},
+		{"vertices<=8", "vertices<=8", false, true},
+		{"", "vertices<=8", false, true},
+		{"", "vertices<=8 && skinniness<=1", false, true},
+		// Extra anti-monotone conjuncts tighten; order and spelling are
+		// immaterial (canonical rendering).
+		{"vertices<=8", "vertices<=8 && edges<=5", false, true},
+		{"vertices<=8", "edges <= 5 && vertices <= 8", false, true},
+		{"vertices<=8", "vertices<=8 && !contains(label='C')", false, true},
+		{"!contains(label='C')", "!contains(label='C') && vertices<6", false, true},
+		// The reverse direction never holds: b dropped a conjunct.
+		{"vertices<=8 && edges<=5", "vertices<=8", false, false},
+		{"vertices<=8", "", false, false},
+		// Extra monotone or unclassifiable conjuncts prove nothing.
+		{"", "contains(label='A')", false, false},
+		{"vertices<=8", "vertices<=8 && contains(label='A')", false, false},
+		{"vertices<=8", "vertices<=8 && vertices>=2", false, false},
+		{"vertices<=8", "vertices<=8 && edges==4", false, false},
+		// A shared monotone conjunct is fine — only the DELTA must be
+		// anti-monotone.
+		{"contains(label='A')", "contains(label='A') && vertices<=8", false, true},
+		// Support floors are anti-monotone only under the
+		// graph-transaction measure.
+		{"vertices<=8", "vertices<=8 && support>=5", false, false},
+		{"vertices<=8", "vertices<=8 && support>=5", true, true},
+		{"vertices<=8", "vertices<=8 && support<=5", true, false},
+		// Composite extra conjuncts classify as a whole.
+		{"", "vertices<=8 || edges<=5", false, true},
+		{"", "!(vertices>=9)", false, true},
+		{"", "vertices<=8 || contains(label='A')", false, false},
+		// A topk clause on a truncates: nothing is provable from it. On
+		// b it merely selects from the (identical) filtered set.
+		{"vertices<=8 && topk(3, by=support)", "vertices<=8 && edges<=5", false, false},
+		{"vertices<=8", "vertices<=8 && topk(3, by=support)", false, true},
+		{"", "topk(3, by=size)", false, true},
+	}
+	for _, tc := range cases {
+		a, b := parseOrNil(t, tc.a), parseOrNil(t, tc.b)
+		if got := Subsumes(a, b, tc.supportAM); got != tc.want {
+			t.Errorf("Subsumes(%q, %q, supportAM=%v) = %v, want %v",
+				tc.a, tc.b, tc.supportAM, got, tc.want)
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, want string
+	}{
+		{"vertices<=8 && edges<=5", "edges<=5 && skinniness<=1", "edges<=5"},
+		{"vertices<=8", "vertices<=8", "vertices<=8"},
+		{"vertices<=8", "edges<=5", ""},
+		{"", "vertices<=8", ""},
+		// Whitespace variants share a canonical rendering.
+		{"vertices <= 8 && !contains(label='C')", "!contains(label='C')&&vertices<=8",
+			"!contains(label='C') && vertices<=8"},
+		// Sorted by rendering regardless of operand order, so both
+		// directions produce one canonical common constraint.
+		{"vertices<=8 && edges<=5 && skinniness<=1", "skinniness<=1 && vertices<=8",
+			"skinniness<=1 && vertices<=8"},
+		// Topk clauses are selectors, never common conjuncts.
+		{"vertices<=8 && topk(3, by=support)", "vertices<=8 && topk(3, by=support)", "vertices<=8"},
+	}
+	for _, tc := range cases {
+		got := Intersect(parseOrNil(t, tc.a), parseOrNil(t, tc.b)).String()
+		if got != tc.want {
+			t.Errorf("Intersect(%q, %q) = %q, want %q", tc.a, tc.b, got, tc.want)
+		}
+		// Intersection is the weakest common form: it must subsume both
+		// operands whenever they are topk-free.
+		a, b := parseOrNil(t, tc.a), parseOrNil(t, tc.b)
+		common := Intersect(a, b)
+		for _, side := range []*Constraint{a, b} {
+			if side != nil && side.TopK != nil {
+				continue
+			}
+			// Only check when every extra conjunct is anti-monotone;
+			// Subsumes is deliberately conservative otherwise.
+			if !Subsumes(common, side, false) {
+				allAM := true
+				commonSet := make(map[string]bool)
+				for _, c := range conjunctsOf(common) {
+					commonSet[render(c)] = true
+				}
+				for _, c := range conjunctsOf(side) {
+					if commonSet[render(c)] {
+						continue
+					}
+					if am, _ := classify(c, false); !am {
+						allAM = false
+					}
+				}
+				if allAM {
+					t.Errorf("Intersect(%q, %q) does not subsume %q", tc.a, tc.b, side)
+				}
+			}
+		}
+	}
+}

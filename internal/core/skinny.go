@@ -76,6 +76,18 @@ type Options struct {
 	// with Concurrency > 1, where which patterns win the budget race is
 	// scheduling-dependent (the count still honors the cap).
 	Concurrency int
+	// SeedLengths, when non-empty, restricts mining to the canonical
+	// diameter lengths in the set: Stage I materializes and Stage II
+	// grows only those levels, skipping the band's other lengths
+	// entirely. Every entry must lie within the band [MinLength or
+	// Length, Length]; validate sorts and deduplicates the list.
+	// Patterns partition by canonical diameter length and each length
+	// mines independently, so the result is byte-identical to the
+	// union of the per-length requests — the fork-at-seed-selection
+	// hook the serving layer's shared-plan batch execution is built
+	// on (one Stage I pass serves a family of band variants). nil
+	// mines the whole band.
+	SeedLengths []int
 
 	// The three constraint-pushdown hooks below are how a declarative
 	// pattern constraint (internal/constraint) reaches the mining hot
@@ -326,6 +338,25 @@ func validate(graphs []*graph.Graph, opt *Options) error {
 	if opt.MaxLevels == 0 {
 		opt.MaxLevels = 32
 	}
+	if len(opt.SeedLengths) > 0 {
+		lo := opt.Length
+		if opt.MinLength > 0 {
+			lo = opt.MinLength
+		}
+		ls := append([]int(nil), opt.SeedLengths...)
+		sort.Ints(ls)
+		out := ls[:0]
+		for i, l := range ls {
+			if l < lo || l > opt.Length {
+				return fmt.Errorf("core: seed length %d outside the band [%d, %d]", l, lo, opt.Length)
+			}
+			if i > 0 && l == ls[i-1] {
+				continue
+			}
+			out = append(out, l)
+		}
+		opt.SeedLengths = out
+	}
 	if opt.Concurrency <= 0 {
 		opt.Concurrency = runtime.GOMAXPROCS(0)
 	}
@@ -352,6 +383,15 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 	if opt.MinLength > 0 {
 		lo = opt.MinLength
 	}
+	// The seed lengths to mine: the whole band, or the request's
+	// explicit subset of it (validate already sorted and deduplicated).
+	lengths := opt.SeedLengths
+	if len(lengths) == 0 {
+		lengths = make([]int, 0, opt.Length-lo+1)
+		for l := lo; l <= opt.Length; l++ {
+			lengths = append(lengths, l)
+		}
+	}
 
 	// Stage I: mine canonical diameters, fanning bucket joins across
 	// this request's worker budget. The count is passed per call — not
@@ -362,7 +402,7 @@ func mineWithDiamMiner(dm *DiamMiner, graphs []*graph.Graph, opt Options) (*Resu
 	t0 := time.Now()
 	sp1 := tr.Start("stage1")
 	var seeds []*PathPattern
-	for l := lo; l <= opt.Length; l++ {
+	for _, l := range lengths {
 		ps, err := dm.mine(l, opt.Concurrency, tr)
 		if err != nil {
 			return nil, err
@@ -552,12 +592,17 @@ func (m *miner) filterOutput(ps []*Pattern) []*Pattern {
 
 // validateOutput drops patterns whose canonical diameter deviated from
 // the growth invariant (possible only if the fast checks over-accepted;
-// see constraints.go) or whose length fell outside the request.
+// see constraints.go). The recomputed diameter must equal the length
+// the pattern was stamped with at its seed — not merely fall inside the
+// band — so a pattern never survives under a length it does not
+// realize; this is also what makes a band mine exactly the union of
+// its per-length mines (the partition SeedLengths and the serving
+// layer's shared-plan forking rely on).
 func (m *miner) validateOutput(ps []*Pattern, lo int) []*Pattern {
 	out := ps[:0]
 	for _, p := range ps {
 		cd, diam := p.G.CanonicalDiameter()
-		ok := int(diam) >= lo && int(diam) <= m.opt.Length
+		ok := diam == p.DiamLen && int(diam) >= lo && int(diam) <= m.opt.Length
 		if ok {
 			for i, v := range cd {
 				if v != graph.V(i) {

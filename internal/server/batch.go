@@ -6,9 +6,6 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
-	"time"
-
-	"skinnymine"
 )
 
 // BatchRequest is the wire form of POST /v1/batch: up to Config.MaxBatch
@@ -24,7 +21,9 @@ type BatchRequest struct {
 // status the same request would have received from /v1/mine; exactly
 // one of Error and Result is set. Source reports how the body was
 // obtained: "hit" (LRU cache), "miss" (mined by this batch),
-// "coalesced" (shared an in-flight run outside the batch), or
+// "coalesced" (shared an in-flight run outside the batch), "morphed"
+// (post-filtered from a cached superset result), "family_shared"
+// (forked from a shared mine of this batch's query family), or
 // "duplicate" (same canonical request appeared earlier in the batch).
 type BatchItem struct {
 	Status int             `json:"status"`
@@ -81,14 +80,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		key string
 		err error
 	}
-	type unit struct {
-		first  int // index of the first batch entry with this key
-		opt    skinnymine.Options
-		body   []byte
-		source string
-		dur    time.Duration // wall clock of this unit's serve (guards included)
-		err    error
-	}
 	slots := make([]slot, len(req.Requests))
 	units := make(map[string]*unit, len(req.Requests))
 	var order []string
@@ -111,26 +102,36 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		key := cacheKey(&mr)
 		slots[i].key = key
 		if _, ok := units[key]; !ok {
-			units[key] = &unit{first: i, opt: opt}
+			units[key] = &unit{key: key, first: i, opt: opt}
 			order = append(order, key)
 		}
 	}
 	s.metrics.batch.unique.Add(int64(len(order)))
 	s.metrics.batch.deduped.Add(int64(len(req.Requests) - len(order) - invalid))
 
-	// Phase 2: one scheduling pass. Every unique entry runs the shared
-	// guard stack concurrently; cache hits return immediately, misses
-	// queue at the admission gate together.
+	// Phase 2: plan, then one scheduling pass. Units forming a query
+	// family (planFamilies) share a single mine of the family superset
+	// and fork from it; everything else runs the shared guard stack
+	// independently. Cache hits return immediately, misses queue at the
+	// admission gate together.
+	plans, owned := s.planFamilies(units, order)
 	var wg sync.WaitGroup
-	for _, key := range order {
-		u := units[key]
+	for _, fp := range plans {
 		wg.Add(1)
-		go func(key string, u *unit) {
+		go func(fp *familyPlan) {
 			defer wg.Done()
-			t0 := time.Now()
-			u.body, u.source, _, u.err = s.execute(r, key, true, s.mineProduce("/v1/batch", u.opt))
-			u.dur = time.Since(t0)
-		}(key, u)
+			s.runFamily(r, fp)
+		}(fp)
+	}
+	for _, key := range order {
+		if owned[key] {
+			continue
+		}
+		wg.Add(1)
+		go func(u *unit) {
+			defer wg.Done()
+			s.runUnit(r, u)
+		}(units[key])
 	}
 	wg.Wait()
 
@@ -163,7 +164,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if i != u.first {
 			source = "duplicate"
 		}
-		resp.Results[i] = BatchItem{Status: http.StatusOK, Source: source, Result: u.body}
+		resp.Results[i] = BatchItem{Status: http.StatusOK, Source: source, Result: u.p.body}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -94,7 +95,8 @@ func TestBatchSharesCacheWithMine(t *testing.T) {
 	}
 
 	// Whitespace variants of one where-expression share a canonical key;
-	// the second unique entry really mines.
+	// the second unique entry is answered by post-filtering the warm
+	// unconstrained superset — no mine runs at all.
 	resp = postBatch(t, ts, `{"requests":[
 		{"length":4,"delta":1},
 		{"length":4,"delta":1,"where":"vertices <= 9"},
@@ -103,14 +105,14 @@ func TestBatchSharesCacheWithMine(t *testing.T) {
 	if br.Unique != 2 || br.CacheHits != 1 {
 		t.Fatalf("accounting: unique=%d hits=%d, want 2/1", br.Unique, br.CacheHits)
 	}
-	if runs.Load() != 1 {
-		t.Fatalf("ran %d mines, want 1 (cached entry + deduped where variants)", runs.Load())
+	if runs.Load() != 0 {
+		t.Fatalf("ran %d mines, want 0 (cached entry + morphed where variant)", runs.Load())
 	}
 	if br.Results[0].Source != "hit" {
 		t.Errorf("previously mined entry source %q, want hit", br.Results[0].Source)
 	}
-	if br.Results[1].Source != "miss" || br.Results[2].Source != "duplicate" {
-		t.Errorf("where variants: %q/%q, want miss/duplicate", br.Results[1].Source, br.Results[2].Source)
+	if br.Results[1].Source != "morphed" || br.Results[2].Source != "duplicate" {
+		t.Errorf("where variants: %q/%q, want morphed/duplicate", br.Results[1].Source, br.Results[2].Source)
 	}
 
 	// And the batch populated the cache for later single requests.
@@ -135,6 +137,103 @@ func TestBatchMatchesSingleMine(t *testing.T) {
 	}
 	if len(got.Patterns) != len(want.Patterns) || got.Stats.PathsMined != want.Stats.PathsMined {
 		t.Errorf("batched result differs: %d patterns vs %d", len(got.Patterns), len(want.Patterns))
+	}
+}
+
+// TestBatchFamilyMixed is the shared-plan batch contract on a mixed
+// payload: a mixable query family forks from one shared mine
+// (family_shared), a monotone-constrained entry and a greedy entry run
+// independently, invalid entries fail inline, and duplicates still
+// collapse — one batch, every execution path at once.
+func TestBatchFamilyMixed(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	var runs atomic.Int64
+	realMine := s.mineFn
+	s.mineFn = func(ctx context.Context, opt skinnymine.Options) (*skinnymine.Result, error) {
+		runs.Add(1)
+		return realMine(ctx, opt)
+	}
+	resp := postBatch(t, ts, `{"requests":[
+		{"length":4,"min_length":1,"delta":2},
+		{"length":4,"min_length":1,"delta":2,"where":"vertices<=8"},
+		{"length":4,"min_length":2,"delta":1},
+		{"length":4,"min_length":1,"delta":2,"where":"contains(label='shop')"},
+		{"length":4,"min_length":1,"delta":2,"maximal_only":true},
+		{"length":4,"where":"verts<=3"},
+		{"support":99,"length":3},
+		{"length":4,"min_length":1,"delta":2,"where":"vertices<=8"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	br := decodeBody[BatchResponse](t, resp.Body)
+
+	wantSource := []string{
+		"miss",          // 0: the family's weakest member — it carries the shared mine
+		"family_shared", // 1: forked from the carrier's result
+		"family_shared", // 2: narrower band and δ, forked too
+		"miss",          // 3: monotone conjunct — not provably contained, mines alone
+		"miss",          // 4: greedy mode — ineligible for any family
+		"",              // 5: invalid constraint
+		"",              // 6: σ mismatch
+		"duplicate",     // 7: same canonical request as entry 1
+	}
+	for i, want := range wantSource {
+		if want == "" {
+			if br.Results[i].Status != http.StatusBadRequest || br.Results[i].Error == "" {
+				t.Errorf("entry %d: %+v, want inline 400", i, br.Results[i])
+			}
+			continue
+		}
+		if br.Results[i].Status != http.StatusOK {
+			t.Errorf("entry %d: status %d (%s)", i, br.Results[i].Status, br.Results[i].Error)
+			continue
+		}
+		if br.Results[i].Source != want {
+			t.Errorf("entry %d: source %q, want %q", i, br.Results[i].Source, want)
+		}
+		if len(br.Results[i].Result) == 0 {
+			t.Errorf("entry %d: empty result", i)
+		}
+	}
+	// Three mines total: the shared family mine plus the two
+	// independents. Without sharing this batch costs five.
+	if runs.Load() != 3 {
+		t.Errorf("ran %d mines, want 3 (shared family mine + 2 independents)", runs.Load())
+	}
+	m := s.metrics.snapshot()
+	if m.Mine.FamilyShared != 2 {
+		t.Errorf("family_shared = %d, want 2", m.Mine.FamilyShared)
+	}
+	tracked := m.Mine.CacheHits + m.Mine.CacheMisses + m.Mine.Coalesced + m.Mine.Morphed + m.Mine.FamilyShared
+	if tracked != 5 {
+		t.Errorf("ledger sum = %d, want the 5 valid unique units", tracked)
+	}
+
+	// The forked members are now warm under their own keys: a later
+	// single request is a plain hit.
+	single := postMine(t, ts, `{"length":4,"min_length":2,"delta":1}`)
+	io.Copy(io.Discard, single.Body)
+	if src := single.Header.Get("X-Result-Source"); src != "hit" {
+		t.Errorf("forked member after batch: source %q, want hit", src)
+	}
+}
+
+// TestBatchFamilyDisabled pins the NoFamily knob: the same mixable
+// family mines member by member, sources stay pre-optimizer.
+func TestBatchFamilyDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{NoFamily: true, NoMorph: true})
+	resp := postBatch(t, ts, `{"requests":[
+		{"length":4,"min_length":1,"delta":2},
+		{"length":4,"min_length":1,"delta":2,"where":"vertices<=8"},
+		{"length":4,"min_length":2,"delta":1}]}`)
+	br := decodeBody[BatchResponse](t, resp.Body)
+	for i := range br.Results {
+		if br.Results[i].Source != "miss" {
+			t.Errorf("entry %d: source %q, want miss with the optimizer off", i, br.Results[i].Source)
+		}
+	}
+	if m := s.metrics.snapshot(); m.Mine.FamilyShared != 0 || m.Mine.Morphed != 0 {
+		t.Errorf("optimizer counters moved while disabled: %+v", m.Mine)
 	}
 }
 

@@ -1,11 +1,14 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+
+	"skinnymine"
 )
 
 // Batch-vs-sequential serving benchmark: the same eight distinct mining
@@ -46,6 +49,77 @@ func BenchmarkServerSequentialRequests(b *testing.B) {
 		b.StopTimer()
 		ts.Close() // idempotent under the later t.Cleanup
 		b.StartTimer()
+	}
+}
+
+// BenchmarkBatchFamily is the multi-query optimizer's headline number:
+// one batch of eight requests forming a single query family (same σ
+// and measure; varying band, δ, and anti-monotone constraints), served
+// with shared-plan execution on versus off. A fresh server per
+// iteration keeps the cache cold, so "independent" mines all eight
+// members and "shared" mines the weakest superset once and forks the
+// rest. extensions/op (summed from the per-entry stats; forked bodies
+// honestly report zero) is the search-work ratio the wall-clock gain
+// comes from; scripts/bench_baseline.sh records both variants in the
+// per-PR bench JSON.
+func BenchmarkBatchFamily(b *testing.B) {
+	family := []string{
+		`{"length":4,"min_length":1,"delta":2}`, // weakest: the shared plan's carrier
+		`{"length":4,"min_length":1,"delta":2,"where":"vertices<=8"}`,
+		`{"length":4,"min_length":1,"delta":2,"where":"edges<=9"}`,
+		`{"length":4,"min_length":1,"delta":1}`,
+		`{"length":4,"min_length":2,"delta":2}`,
+		`{"length":3,"min_length":1,"delta":2}`,
+		`{"length":4,"min_length":1,"delta":2,"where":"skinniness<=1"}`,
+		`{"length":4,"min_length":1,"delta":2,"where":"vertices<=8 && edges<=9"}`,
+	}
+	body := `{"requests":[` + strings.Join(family, ",") + `]}`
+	for _, mode := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"shared", Config{}},
+		{"independent", Config{NoFamily: true, NoMorph: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			ix := buildIndex(b)
+			var extensions int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := mode.cfg
+				cfg.Index = ix
+				_, ts := newTestServer(b, cfg)
+				b.StartTimer()
+				resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					b.Fatalf("status %d: %v", resp.StatusCode, err)
+				}
+				b.StopTimer()
+				var br BatchResponse
+				if err := json.Unmarshal(raw, &br); err != nil {
+					b.Fatal(err)
+				}
+				for j, item := range br.Results {
+					if item.Status != http.StatusOK {
+						b.Fatalf("entry %d: status %d: %s", j, item.Status, item.Error)
+					}
+					var res skinnymine.ResultJSON
+					if err := json.Unmarshal(item.Result, &res); err != nil {
+						b.Fatal(err)
+					}
+					extensions += int64(res.Stats.ExtensionsTried)
+				}
+				ts.Close() // idempotent under the later t.Cleanup
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(extensions)/float64(b.N), "extensions/op")
+		})
 	}
 }
 

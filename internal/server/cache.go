@@ -8,11 +8,14 @@ import (
 	"sync/atomic"
 )
 
-// lruCache is a fixed-capacity LRU over serialized response bodies.
-// Values are the canonical JSON bytes a request produced — so a hit
+// lruCache is a fixed-capacity LRU over produced results. Each value
+// carries the canonical JSON bytes a request produced — so a hit
 // replays the exact body the first caller saw — plus the trace ID of
-// the run that produced them, so ?trace=1 on a hot key can serve the
-// stored trace of the original run instead of re-mining.
+// the run that produced them (so ?trace=1 on a hot key can serve the
+// stored trace of the original run instead of re-mining) and, unless
+// the server disabled both morphing and family sharing, the decoded
+// result and its options, which is what lets a cache miss be answered
+// by post-filtering a subsuming entry (morphCandidates).
 type lruCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -21,9 +24,8 @@ type lruCache struct {
 }
 
 type lruEntry struct {
-	key     string
-	body    []byte
-	traceID string
+	key string
+	p   produced
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -34,37 +36,55 @@ func newLRUCache(capacity int) *lruCache {
 	}
 }
 
-// get returns the cached body and producing-run trace ID for key,
-// promoting it to most recent.
-func (c *lruCache) get(key string) ([]byte, string, bool) {
+// get returns the cached produced value for key, promoting it to most
+// recent.
+func (c *lruCache) get(key string) (produced, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, "", false
+		return produced{}, false
 	}
 	c.order.MoveToFront(el)
-	e := el.Value.(*lruEntry)
-	return e.body, e.traceID, true
+	return el.Value.(*lruEntry).p, true
 }
 
 // put inserts or refreshes key, evicting the least recent entry when
 // over capacity.
-func (c *lruCache) put(key string, body []byte, traceID string) {
+func (c *lruCache) put(key string, p produced) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		e := el.Value.(*lruEntry)
-		e.body, e.traceID = body, traceID
+		el.Value.(*lruEntry).p = p
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&lruEntry{key: key, body: body, traceID: traceID})
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, p: p})
 	for c.order.Len() > c.cap {
 		last := c.order.Back()
 		c.order.Remove(last)
 		delete(c.items, last.Value.(*lruEntry).key)
 	}
+}
+
+// morphCandidates returns the entries a morph scan may post-filter:
+// every entry still holding its decoded result, most recently used
+// first (the hottest superset answers first). The entries are COPIED
+// out under the lock — a produced value is self-contained — so the
+// scan itself runs lock-free and is immune to concurrent eviction:
+// an entry evicted mid-scan still answers correctly from the copy.
+// Scanning does not promote: reading an entry as a morph source says
+// nothing about how hot its own key is.
+func (c *lruCache) morphCandidates() []produced {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]produced, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		if p := el.Value.(*lruEntry).p; p.res != nil {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // len returns the current entry count.

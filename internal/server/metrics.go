@@ -46,14 +46,16 @@ type metrics struct {
 	}
 
 	mine struct {
-		cacheHits   atomic.Int64
-		cacheMisses atomic.Int64
-		coalesced   atomic.Int64
-		runs        atomic.Int64
-		errors      atomic.Int64
-		inFlight    atomic.Int64
-		slowQueries atomic.Int64
-		latency     *obs.Histogram // per-run mining wall clock
+		cacheHits    atomic.Int64
+		cacheMisses  atomic.Int64
+		coalesced    atomic.Int64
+		morphed      atomic.Int64 // misses answered by post-filtering a subsuming cache entry
+		familyShared atomic.Int64 // batch entries forked from a shared family mine
+		runs         atomic.Int64
+		errors       atomic.Int64
+		inFlight     atomic.Int64
+		slowQueries  atomic.Int64
+		latency      *obs.Histogram // per-run mining wall clock
 	}
 
 	// admissionWait is how long admitted requests queued at the gate —
@@ -102,16 +104,24 @@ type BatchMetrics struct {
 //
 // Accounting: every tracked mining request lands in exactly one of
 // cache_hits (served from the LRU), cache_misses (became the leader of
-// a mining run) or coalesced (shared another request's in-flight run),
-// so cache_hit_rate = hits / (hits + misses + coalesced) — the
+// a mining run), coalesced (shared another request's in-flight run),
+// morphed (a miss answered by post-filtering a subsuming cache entry —
+// no run) or family_shared (a batch entry forked from its family's
+// shared mine — no run of its own), so cache_hit_rate =
+// hits / (hits + misses + coalesced + morphed + family_shared) — the
 // fraction of requests that did NOT lead a run themselves. Misses are
 // counted when a request becomes the leader, not when it merely misses
 // the LRU: coalesced followers miss the cache too, but charging them a
-// miss each would overstate misses by exactly the coalesced count.
-// (?trace=1 requests ride the same ledger since the trace store made
-// cached serving possible for them; only on a server with the store
-// disabled do they fall back to bypassing the cache, appearing in runs
-// and latency but in none of the three cache counters.)
+// miss each would overstate misses by exactly the coalesced count, and
+// a morphed or family-forked answer never counts as a miss because no
+// search ran for it. runs can exceed cache_misses: a family's shared
+// mine with no member at exactly the family options runs as synthetic
+// work charged to no single request (it appears in runs and latency
+// but in none of the five cache counters). (?trace=1 requests ride the
+// same ledger since the trace store made cached serving possible for
+// them; only on a server with the store disabled do they fall back to
+// bypassing the cache, appearing in runs and latency but in none of
+// the cache counters.)
 //
 // latency_count, latency_avg_ms and latency_max_ms predate the
 // histogram and are derived from it, so existing dashboards keep
@@ -121,6 +131,8 @@ type MineMetrics struct {
 	CacheMisses  int64                 `json:"cache_misses"`
 	CacheHitRate float64               `json:"cache_hit_rate"`
 	Coalesced    int64                 `json:"coalesced"`
+	Morphed      int64                 `json:"morphed"`
+	FamilyShared int64                 `json:"family_shared"`
 	Runs         int64                 `json:"runs"`
 	Errors       int64                 `json:"errors"`
 	InFlight     int64                 `json:"in_flight"`
@@ -134,8 +146,9 @@ type MineMetrics struct {
 func (m *metrics) snapshot() MetricsSnapshot {
 	hits, misses := m.mine.cacheHits.Load(), m.mine.cacheMisses.Load()
 	coalesced := m.mine.coalesced.Load()
+	morphed, familyShared := m.mine.morphed.Load(), m.mine.familyShared.Load()
 	rate := 0.0
-	if denom := hits + misses + coalesced; denom > 0 {
+	if denom := hits + misses + coalesced + morphed + familyShared; denom > 0 {
 		rate = float64(hits) / float64(denom)
 	}
 	lat := m.mine.latency.Snapshot()
@@ -165,6 +178,8 @@ func (m *metrics) snapshot() MetricsSnapshot {
 			CacheMisses:  misses,
 			CacheHitRate: rate,
 			Coalesced:    coalesced,
+			Morphed:      morphed,
+			FamilyShared: familyShared,
 			Runs:         m.mine.runs.Load(),
 			Errors:       m.mine.errors.Load(),
 			InFlight:     m.mine.inFlight.Load(),
@@ -219,6 +234,10 @@ func writeProm(w io.Writer, snap MetricsSnapshot) error {
 	p("skinnymine_mine_cache_misses_total %d\n", snap.Mine.CacheMisses)
 	p("# TYPE skinnymine_mine_coalesced_total counter\n")
 	p("skinnymine_mine_coalesced_total %d\n", snap.Mine.Coalesced)
+	p("# TYPE skinnymine_mine_morphed_total counter\n")
+	p("skinnymine_mine_morphed_total %d\n", snap.Mine.Morphed)
+	p("# TYPE skinnymine_mine_family_shared_total counter\n")
+	p("skinnymine_mine_family_shared_total %d\n", snap.Mine.FamilyShared)
 	p("# TYPE skinnymine_mine_runs_total counter\n")
 	p("skinnymine_mine_runs_total %d\n", snap.Mine.Runs)
 	p("# TYPE skinnymine_mine_errors_total counter\n")

@@ -184,11 +184,13 @@ func TestCanceledFollowerReturnsPromptly(t *testing.T) {
 }
 
 // TestMetricsCountMissAtLeadershipOnly pins the accounting fix with an
-// exact ledger across a hit/miss/coalesced mix: misses count leaders,
-// not every LRU miss, so hits + misses + coalesced equals the tracked
-// request count and the hit rate uses that full denominator. (Before
-// the fix every coalesced follower also charged a miss, overstating
-// misses by the coalesced count.)
+// exact ledger across a hit/miss/coalesced/morphed mix: misses count
+// leaders, not every LRU miss — a morph-served request counts morphed,
+// NOT a miss, even though its key missed the LRU — so hits + misses +
+// coalesced + morphed + family_shared equals the tracked request count
+// and the hit rate uses that full denominator. (Before the fix every
+// coalesced follower also charged a miss, overstating misses by the
+// coalesced count.)
 func TestMetricsCountMissAtLeadershipOnly(t *testing.T) {
 	const followers = 3
 	s, ts := newTestServer(t, Config{})
@@ -230,20 +232,31 @@ func TestMetricsCountMissAtLeadershipOnly(t *testing.T) {
 	close(release)
 	wg.Wait()
 
+	// One morph round: a fresh key answered by post-filtering the
+	// cached unconstrained superset — no run, no miss, one "morphed".
+	morph := postMine(t, ts, `{"length":4,"delta":1,"where":"vertices<=8"}`)
+	io.Copy(io.Discard, morph.Body)
+	if src := morph.Header.Get("X-Result-Source"); src != "morphed" {
+		t.Fatalf("morph round source %q, want morphed", src)
+	}
+
 	m := s.metrics.snapshot()
 	if m.Mine.CacheHits != 1 || m.Mine.CacheMisses != 2 || m.Mine.Coalesced != followers {
 		t.Errorf("hits=%d misses=%d coalesced=%d, want 1/2/%d",
 			m.Mine.CacheHits, m.Mine.CacheMisses, m.Mine.Coalesced, followers)
 	}
-	if m.Mine.Runs != 2 || m.Mine.Errors != 0 {
-		t.Errorf("runs=%d errors=%d, want 2/0", m.Mine.Runs, m.Mine.Errors)
+	if m.Mine.Morphed != 1 || m.Mine.FamilyShared != 0 {
+		t.Errorf("morphed=%d family_shared=%d, want 1/0", m.Mine.Morphed, m.Mine.FamilyShared)
 	}
-	tracked := m.Mine.CacheHits + m.Mine.CacheMisses + m.Mine.Coalesced
-	if want := int64(2 + 1 + followers); tracked != want {
-		t.Errorf("hits+misses+coalesced = %d, want the %d tracked requests", tracked, want)
+	if m.Mine.Runs != 2 || m.Mine.Errors != 0 {
+		t.Errorf("runs=%d errors=%d, want 2/0 (the morph round must not run a mine)", m.Mine.Runs, m.Mine.Errors)
+	}
+	tracked := m.Mine.CacheHits + m.Mine.CacheMisses + m.Mine.Coalesced + m.Mine.Morphed + m.Mine.FamilyShared
+	if want := int64(2 + 1 + followers + 1); tracked != want {
+		t.Errorf("ledger sum = %d, want the %d tracked requests", tracked, want)
 	}
 	if want := float64(m.Mine.CacheHits) / float64(tracked); m.Mine.CacheHitRate != want {
-		t.Errorf("hit rate %v, want %v (denominator must include coalesced)", m.Mine.CacheHitRate, want)
+		t.Errorf("hit rate %v, want %v (denominator must include every bucket)", m.Mine.CacheHitRate, want)
 	}
 }
 

@@ -18,6 +18,17 @@
 // gate — after deduplicating its entries by canonical cache key, so N
 // identical batched requests cost exactly one mining run.
 //
+// On top of the guards sits a multi-query optimizer with one hard
+// invariant — it changes the plan, never the bytes (equiv_test.go). A
+// cache miss may be answered by post-filtering a cached superset
+// result whose containment skinnymine.CanMorph proves ("morphed", no
+// run, no admission slot), and /v1/batch entries forming a query
+// family (skinnymine.FamilyOptions — one σ and measure, varying band,
+// δ, anti-monotone constraints) share one mine of the weakest superset
+// and fork per entry ("family_shared", plan.go). Config.NoMorph and
+// Config.NoFamily switch the optimizer off for A/B timing and for the
+// equivalence tests' reference server.
+//
 // Concurrency and ownership: one Server owns its cache, flight group,
 // metrics and admission semaphore; every handler is safe for arbitrary
 // concurrent requests, and the shared index's own locking makes
@@ -91,6 +102,17 @@ type Config struct {
 	// per latency bucket so slow traces survive fast traffic). 0 means
 	// 256; negative disables the store and the /debug/traces endpoint.
 	TraceStore int
+	// NoMorph disables morphing cache reuse: on a cache miss the LRU is
+	// no longer scanned for a subsuming superset entry to post-filter
+	// (skinnymine.CanMorph/Morph), and every miss mines. The optimizer
+	// never changes response bytes — the knob exists for A/B timing and
+	// for the equivalence tests' reference server.
+	NoMorph bool
+	// NoFamily disables shared-plan batch execution: /v1/batch entries
+	// forming a query family (skinnymine.FamilyOptions) are mined
+	// independently instead of once-plus-forks. Same byte-identity
+	// guarantee and purpose as NoMorph.
+	NoFamily bool
 }
 
 // Server serves mining requests over HTTP. Create one with New and
@@ -107,6 +129,8 @@ type Server struct {
 	slowQry  time.Duration // 0 disables the slow-query log
 	pprofOn  bool
 	traces   *obs.TraceStore // nil when the trace store is disabled
+	noMorph  bool
+	noFamily bool
 
 	// mineFn runs one mining request under the leader request's context
 	// (a distributed index propagates it into worker RPCs); tests
@@ -154,6 +178,8 @@ func New(cfg Config) (*Server, error) {
 		log:      cfg.Logger,
 		slowQry:  cfg.SlowQuery,
 		pprofOn:  cfg.Pprof,
+		noMorph:  cfg.NoMorph,
+		noFamily: cfg.NoFamily,
 		mineFn:   cfg.Index.MineContext,
 	}
 	switch {
@@ -375,17 +401,18 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		s.serveTraced(w, r, cacheKey(&req), opt)
 		return
 	}
-	s.serveCached(w, r, cacheKey(&req), true, s.mineProduce("/v1/mine", opt))
+	s.serveCached(w, r, cacheKey(&req), true, &opt, s.mineProduce("/v1/mine", opt))
 }
 
 // TraceResponse is the ?trace=1 payload: the normal mining result plus
 // the spans of the run that produced it. Source says where those spans
 // came from — "mined" (this request led a fresh run), "cache" (a hot
-// key: the cached bytes plus the STORED trace of the original run) or
+// key: the cached bytes plus the STORED trace of the original run),
 // "coalesced" (this request shared another's in-flight run and shows
-// that run's trace). TotalMs is the producing run's wall clock; on a
-// cache hit the spans may be empty if the original run's trace has
-// aged out of the trace store.
+// that run's trace) or "morphed" (answered by post-filtering a cached
+// superset; the spans are the run that mined that superset). TotalMs
+// is the producing run's wall clock; on a cache hit the spans may be
+// empty if the original run's trace has aged out of the trace store.
 type TraceResponse struct {
 	RequestID string                 `json:"request_id"`
 	TraceID   string                 `json:"trace_id,omitempty"`
@@ -408,21 +435,26 @@ func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request, key string,
 		s.serveTracedBypass(w, r, opt)
 		return
 	}
-	body, source, traceID, err := s.execute(r, key, true, s.mineProduce("/v1/mine", opt))
+	p, source, err := s.execute(r, key, true, &opt, s.mineProduce("/v1/mine", opt))
 	if err != nil {
 		s.writeError(w, errStatus(err), err.Error())
 		return
 	}
+	traceID := p.traceID
 	resp := TraceResponse{
 		RequestID: obs.RequestID(r.Context()),
 		TraceID:   traceID,
-		Result:    json.RawMessage(body),
+		Result:    json.RawMessage(p.body),
 	}
 	switch source {
 	case "hit":
 		resp.Source = "cache"
 	case "coalesced":
 		resp.Source = "coalesced"
+	case "morphed":
+		// Answered by post-filtering a cached superset; the linked
+		// trace is the run that mined that superset.
+		resp.Source = "morphed"
 	default:
 		resp.Source = "mined"
 	}
@@ -478,9 +510,18 @@ func (s *Server) serveTracedBypass(w http.ResponseWriter, r *http.Request, opt s
 // produced is what one producer run yields: the serialized response
 // body plus the trace ID (the leader request's ID) under which the
 // run's spans live in the trace store — "" when nothing was recorded.
+// Mining producers additionally carry the decoded result and the
+// options that produced it, which is what the multi-query optimizer
+// consumes: a cached produced is a morph source (tryMorph) and a
+// family mine's produced forks into its members (runFamily). morphed
+// marks a value answered by post-filtering a superset instead of a
+// run, so execute can account it without re-deriving how it was made.
 type produced struct {
 	body    []byte
 	traceID string
+	res     *skinnymine.Result
+	opts    skinnymine.Options
+	morphed bool
 }
 
 // mineProduce returns the producer for one mining request: run the
@@ -542,21 +583,28 @@ func (s *Server) mineProduce(endpoint string, opt skinnymine.Options) func(conte
 		if err := res.WriteJSON(&buf); err != nil {
 			return produced{}, err
 		}
-		return produced{body: buf.Bytes(), traceID: traceID}, nil
+		p := produced{body: buf.Bytes(), traceID: traceID, res: res, opts: opt}
+		if s.noMorph && s.noFamily {
+			// Nothing will ever read the decoded result; keep only the
+			// bytes so the cache's memory profile stays what it was.
+			p.res = nil
+		}
+		return p, nil
 	}
 }
 
 // serveCached runs the throughput guards around produce (execute) and
-// writes the outcome as an HTTP response.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, trackMine bool, produce func(context.Context) (produced, error)) {
-	body, source, _, err := s.execute(r, key, trackMine, produce)
+// writes the outcome as an HTTP response. morphTo, when non-nil,
+// additionally lets a cache miss try the morph scan first (execute).
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, trackMine bool, morphTo *skinnymine.Options, produce func(context.Context) (produced, error)) {
+	p, source, err := s.execute(r, key, trackMine, morphTo, produce)
 	if err != nil {
 		// Input was validated before produce, so a failed run is the
 		// server's problem: 503 for admission cancellation, 500 otherwise.
 		s.writeError(w, errStatus(err), err.Error())
 		return
 	}
-	s.writeBody(w, body, source)
+	s.writeBody(w, p.body, source)
 }
 
 // admit takes one admission-gate slot, recording how long the wait
@@ -590,26 +638,37 @@ func errStatus(err error) int {
 // concurrent requests, and the bounded-concurrency admission gate.
 // produce runs with an admission slot held and returns the response
 // body, which is cached on success and tagged with where it came from
-// ("hit", "miss" or "coalesced") plus the trace ID of the producing
-// run (so ?trace=1 and /debug/traces can find its spans later).
-// trackMine folds cache and error counts into the /metrics mine
-// section and records span-less trace-store entries for hit/coalesced
-// requests (the mining endpoints' bookkeeping; other endpoints only
-// ride the guards). Both /v1/mine and every unique /v1/batch entry
-// funnel through here, so batch and single requests share one cache,
-// one coalescing domain, and one admission gate.
-func (s *Server) execute(r *http.Request, key string, trackMine bool, produce func(context.Context) (produced, error)) (body []byte, source, traceID string, err error) {
+// ("hit", "miss", "morphed" or "coalesced") plus the trace ID of the
+// producing run (so ?trace=1 and /debug/traces can find its spans
+// later). morphTo, when non-nil, is the request's options in canonical
+// form: a leader that missed the LRU first scans it for a subsuming
+// superset entry and, when containment is provable, answers by
+// post-filtering the cached patterns (tryMorph) without taking an
+// admission slot — no search runs, so the "morphed" outcome counts
+// under neither misses nor runs. trackMine folds cache and error
+// counts into the /metrics mine section and records span-less
+// trace-store entries for hit/morphed/coalesced requests (the mining
+// endpoints' bookkeeping; other endpoints only ride the guards). Both
+// /v1/mine and every unique /v1/batch entry funnel through here, so
+// batch and single requests share one cache, one coalescing domain,
+// and one admission gate.
+func (s *Server) execute(r *http.Request, key string, trackMine bool, morphTo *skinnymine.Options, produce func(context.Context) (produced, error)) (p produced, source string, err error) {
 	if s.cache != nil {
-		if body, tid, ok := s.cache.get(key); ok {
+		if hit, ok := s.cache.get(key); ok {
 			if trackMine {
 				s.metrics.mine.cacheHits.Add(1)
-				s.recordServed(r, "hit", tid)
+				s.recordServed(r, "hit", hit.traceID)
 			}
-			return body, "hit", tid, nil
+			return hit, "hit", nil
 		}
 	}
 
 	run := func() (produced, error) {
+		if morphTo != nil && !s.noMorph && s.cache != nil {
+			if mp, ok := s.tryMorph(key, *morphTo); ok {
+				return mp, nil
+			}
+		}
 		// A cache miss is counted HERE, by the one request that became
 		// the leader — not by every request that missed the LRU. A
 		// follower that coalesces onto an in-flight run counts only
@@ -629,12 +688,11 @@ func (s *Server) execute(r *http.Request, key string, trackMine bool, produce fu
 			return produced{}, err
 		}
 		if s.cache != nil {
-			s.cache.put(key, p.body, p.traceID)
+			s.cache.put(key, p)
 		}
 		return p, nil
 	}
 	var shared bool
-	var p produced
 	for {
 		p, err, shared = s.flights.do(r.Context(), key, run)
 		// A shared admission-cancel error is the leader's client
@@ -653,16 +711,56 @@ func (s *Server) execute(r *http.Request, key string, trackMine bool, produce fu
 		if trackMine {
 			s.metrics.mine.errors.Add(1)
 		}
-		return nil, "", "", err
+		return produced{}, "", err
 	}
-	source = "miss"
-	if shared {
+	switch {
+	case shared:
 		source = "coalesced"
 		if trackMine {
 			s.recordServed(r, "coalesced", p.traceID)
 		}
+	case p.morphed:
+		source = "morphed"
+		if trackMine {
+			s.metrics.mine.morphed.Add(1)
+			s.recordServed(r, "morphed", p.traceID)
+		}
+	default:
+		source = "miss"
 	}
-	return p.body, source, p.traceID, nil
+	return p, source, nil
+}
+
+// tryMorph attempts to answer a cache miss without mining: scan the
+// LRU (hottest first) for an entry whose options provably subsume the
+// request's (skinnymine.CanMorph) and post-filter its decoded result
+// into the requested one (skinnymine.Morph). The morphed response is
+// serialized and cached under the request's own key, so the NEXT
+// identical request is a plain hit — and, carrying its own decoded
+// result, the morphed entry can itself seed further morphs. The
+// returned value keeps the superset run's trace ID: that run is where
+// the patterns actually came from, and /debug/traces should say so.
+// The stats section of a morphed body is zero — no search ran — while
+// the patterns bytes are identical to a fresh mine's; the equivalence
+// tests pin exactly that.
+func (s *Server) tryMorph(key string, to skinnymine.Options) (produced, bool) {
+	for _, cand := range s.cache.morphCandidates() {
+		if !skinnymine.CanMorph(cand.opts, to) {
+			continue
+		}
+		res, err := skinnymine.Morph(cand.res, cand.opts, to)
+		if err != nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			continue
+		}
+		p := produced{body: buf.Bytes(), traceID: cand.traceID, res: res, opts: to, morphed: true}
+		s.cache.put(key, p)
+		return p, true
+	}
+	return produced{}, false
 }
 
 // recordServed retains a span-less trace-store entry for a request
@@ -720,7 +818,8 @@ func (s *Server) handleBackbones(w http.ResponseWriter, r *http.Request) {
 	}
 	// A cache-miss backbones request materializes a Stage I level —
 	// real mining work — so it rides the same guards as /v1/mine.
-	s.serveCached(w, r, fmt.Sprintf("backbones l=%d", l), false, func(ctx context.Context) (produced, error) {
+	// (No morphTo: backbone listings are not mining results.)
+	s.serveCached(w, r, fmt.Sprintf("backbones l=%d", l), false, nil, func(ctx context.Context) (produced, error) {
 		bbs, err := s.ix.MinimalBackbonesContext(ctx, l)
 		if err != nil {
 			return produced{}, err

@@ -403,18 +403,69 @@ func TestNewRequiresIndex(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	c := newLRUCache(2)
-	c.put("a", []byte("1"), "t-a")
-	c.put("b", []byte("2"), "")
+	c.put("a", produced{body: []byte("1"), traceID: "t-a"})
+	c.put("b", produced{body: []byte("2")})
 	c.get("a") // promote a
-	c.put("c", []byte("3"), "")
-	if _, _, ok := c.get("b"); ok {
+	c.put("c", produced{body: []byte("3")})
+	if _, ok := c.get("b"); ok {
 		t.Error("b should have been evicted")
 	}
-	if _, tid, ok := c.get("a"); !ok || tid != "t-a" {
+	if p, ok := c.get("a"); !ok || p.traceID != "t-a" {
 		t.Error("a should have survived with its trace ID")
 	}
 	if c.len() != 2 {
 		t.Errorf("len %d, want 2", c.len())
+	}
+}
+
+// TestMorphCandidatesCopyOutlivesEviction pins the scan-safety
+// contract: candidates are copied out under the lock, so an entry
+// evicted between the scan and its use still answers from the copy,
+// and entries cached without a decoded result are never offered.
+func TestMorphCandidatesCopyOutlivesEviction(t *testing.T) {
+	c := newLRUCache(1)
+	c.put("a", produced{body: []byte("1"), res: &skinnymine.Result{}, opts: skinnymine.Options{Support: 2, Length: 4}})
+	cands := c.morphCandidates()
+	c.put("b", produced{body: []byte("2")}) // evicts a; no res — not a candidate
+	if len(cands) != 1 || string(cands[0].body) != "1" || cands[0].res == nil {
+		t.Fatalf("pre-eviction candidate copy mangled: %+v", cands)
+	}
+	if got := c.morphCandidates(); len(got) != 0 {
+		t.Errorf("res-less entry offered as a morph candidate: %d", len(got))
+	}
+}
+
+// TestMorphChainUnderEviction drives morphing on a capacity-1 cache:
+// each morphed answer is cached under its own key and immediately
+// evicts its source, so the next narrower request must chain off the
+// previously MORPHED entry — and once every superset is gone, a wider
+// request is an honest miss again (a narrower entry can never answer
+// a wider request).
+func TestMorphChainUnderEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheSize: 1})
+	post := func(body, wantSource string) {
+		t.Helper()
+		resp := postMine(t, ts, body)
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d for %s", resp.StatusCode, body)
+		}
+		if src := resp.Header.Get("X-Result-Source"); src != wantSource {
+			t.Errorf("%s: source %q, want %q", body, src, wantSource)
+		}
+	}
+	post(`{"length":4,"delta":1}`, "miss")
+	post(`{"length":4,"delta":1,"where":"vertices<=8"}`, "morphed")
+	// The unconstrained superset is evicted now; this chains off the
+	// morphed vertices<=8 entry.
+	post(`{"length":4,"delta":1,"where":"vertices<=8 && edges<=9"}`, "morphed")
+	// Every wider entry is gone: wider requests really mine again.
+	post(`{"length":4,"delta":1}`, "miss")
+	if n := s.cache.len(); n != 1 {
+		t.Errorf("cache holds %d entries, want 1", n)
+	}
+	if m := s.metrics.snapshot(); m.Mine.Morphed != 2 || m.Mine.CacheMisses != 2 {
+		t.Errorf("morphed=%d misses=%d, want 2/2", m.Mine.Morphed, m.Mine.CacheMisses)
 	}
 }
 
@@ -449,8 +500,9 @@ func TestMineWhereFilters(t *testing.T) {
 
 // TestCacheKeyWhere pins the cache-key canonicalization rules for the
 // where field: requests differing only in where (or only in the topk
-// clause) never collide, while spelling variants of one expression hit
-// one entry.
+// clause) never collide — each lands its own cache entry, though a
+// subsumable one is answered by morphing the warm superset instead of
+// mining — while spelling variants of one expression hit one entry.
 func TestCacheKeyWhere(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
 	post := func(body, wantSource string) {
@@ -467,16 +519,17 @@ func TestCacheKeyWhere(t *testing.T) {
 	}
 
 	post(`{"length":4,"delta":1}`, "miss")
-	// Adding a where must not collide with the unconstrained entry.
-	post(`{"length":4,"delta":1,"where":"vertices<=6"}`, "miss")
+	// Adding a where must not collide with the unconstrained entry —
+	// but the warm unconstrained superset answers it by post-filtering.
+	post(`{"length":4,"delta":1,"where":"vertices<=6"}`, "morphed")
 	// Same expression, different spelling: canonicalized, so a hit.
 	post(`{"length":4,"delta":1,"where":"  vertices  <=  6 "}`, "hit")
 	post(`{"length":4,"delta":1,"where":"(vertices<=6)"}`, "hit")
-	// Different bound: a distinct entry.
-	post(`{"length":4,"delta":1,"where":"vertices<=7"}`, "miss")
+	// Different bound: a distinct entry (morph-served, not colliding).
+	post(`{"length":4,"delta":1,"where":"vertices<=7"}`, "morphed")
 	// Only the topk clause differs: still distinct entries.
-	post(`{"length":4,"delta":1,"where":"vertices<=6 && topk(3)"}`, "miss")
-	post(`{"length":4,"delta":1,"where":"vertices<=6 && topk(2)"}`, "miss")
+	post(`{"length":4,"delta":1,"where":"vertices<=6 && topk(3)"}`, "morphed")
+	post(`{"length":4,"delta":1,"where":"vertices<=6 && topk(2)"}`, "morphed")
 	// topk(3) spelled with an explicit measure: same canonical form.
 	post(`{"length":4,"delta":1,"where":"topk(3,support) && vertices<=6"}`, "hit")
 	// And the unconstrained entry is still warm.

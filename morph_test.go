@@ -1,0 +1,260 @@
+package skinnymine
+
+// Morphing refguard at the library level. CanMorph's claim is that the
+// target request's result is exactly the source result post-filtered,
+// so every test here reduces to one comparison: Morph(mine(from)) must
+// be byte-identical (pattern JSON) to mine(to) run fresh. The serving
+// daemon's equiv_test builds on the same invariant over HTTP; this
+// file additionally pins the refusals — the dimensions (σ, measure,
+// greedy/closed/budgeted modes) where a provable containment does not
+// exist and CanMorph must decline.
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"skinnymine/internal/testutil"
+)
+
+func TestCanMorphTable(t *testing.T) {
+	base := Options{Support: 2, Length: 3, Delta: 2}
+	mod := func(f func(o *Options)) Options {
+		o := base
+		f(&o)
+		return o
+	}
+	cases := []struct {
+		name     string
+		from, to Options
+		want     bool
+	}{
+		{"identity", base, base, true},
+		{"narrower band", mod(func(o *Options) { o.MinLength = 2 }), base, true},
+		{"wider band", base, mod(func(o *Options) { o.MinLength = 2 }), false},
+		{"seed lengths subset", mod(func(o *Options) { o.MinLength = 1 }),
+			mod(func(o *Options) { o.MinLength = 1; o.SeedLengths = []int{1, 3} }), true},
+		{"seed lengths escape the source band", mod(func(o *Options) { o.MinLength = 2 }),
+			mod(func(o *Options) { o.MinLength = 1; o.SeedLengths = []int{1} }), false},
+		{"tighter delta", base, mod(func(o *Options) { o.Delta = 1 }), true},
+		{"looser delta", mod(func(o *Options) { o.Delta = 1 }), base, false},
+		{"unbounded delta source", mod(func(o *Options) { o.Delta = -1 }), base, true},
+		{"unbounded delta target", base, mod(func(o *Options) { o.Delta = -1 }), false},
+		// σ must match exactly: Stage I's doubling threshold is σ-keyed,
+		// so a tighter floor is containment, not byte-identity.
+		{"higher sigma", base, mod(func(o *Options) { o.Support = 3 }), false},
+		{"higher sigma under graph measure",
+			mod(func(o *Options) { o.Measure = GraphCount }),
+			mod(func(o *Options) { o.Measure = GraphCount; o.Support = 3 }), false},
+		{"lower sigma", mod(func(o *Options) { o.Support = 3 }), base, false},
+		{"support floor as a conjunct under graph measure",
+			mod(func(o *Options) { o.Measure = GraphCount }),
+			mod(func(o *Options) { o.Measure = GraphCount; o.Where = "support>=3" }), true},
+		{"support floor as a conjunct under embedding measure", base,
+			mod(func(o *Options) { o.Where = "support>=3" }), false},
+		{"measure mismatch", base, mod(func(o *Options) { o.Measure = GraphCount }), false},
+		{"extra anti-monotone conjunct", base,
+			mod(func(o *Options) { o.Where = "vertices<=6" }), true},
+		{"extra monotone conjunct", base,
+			mod(func(o *Options) { o.Where = "contains(label='1')" }), false},
+		{"dropped conjunct", mod(func(o *Options) { o.Where = "vertices<=6" }), base, false},
+		{"shared monotone conjunct plus anti-monotone delta",
+			mod(func(o *Options) { o.Where = "contains(label='1')" }),
+			mod(func(o *Options) { o.Where = "contains(label='1') && edges<=6" }), true},
+		{"topk on target", base, mod(func(o *Options) { o.Where = "topk(3, by=support)" }), true},
+		{"topk on source", mod(func(o *Options) { o.Where = "topk(3, by=support)" }), base, false},
+		{"greedy source", mod(func(o *Options) { o.MaximalOnly = true }), base, false},
+		{"closed target", base, mod(func(o *Options) { o.ClosedOnly = true }), false},
+		{"budgeted source", mod(func(o *Options) { o.MaxPatterns = 5 }), base, false},
+		{"invalid target", base, mod(func(o *Options) { o.Support = 0 }), false},
+	}
+	for _, tc := range cases {
+		if got := CanMorph(tc.from, tc.to); got != tc.want {
+			t.Errorf("%s: CanMorph = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// randomMorphDB builds a small two-graph database seeded per trial.
+func randomMorphDB(trial int) []*Graph {
+	rng := rand.New(rand.NewSource(int64(900 + trial)))
+	return wrapRaw(4,
+		testutil.RandomConnectedGraph(rng, 40, 14, 4),
+		testutil.RandomConnectedGraph(rng, 35, 12, 4),
+	)
+}
+
+func TestMorphMatchesFreshMine(t *testing.T) {
+	trials := 4
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		db := randomMorphDB(trial)
+		from := Options{Support: 2, Length: 3, MinLength: 1, Delta: 2}
+		if trial%2 == 1 {
+			from.Measure = GraphCount
+		}
+		targets := []func(o *Options){
+			func(o *Options) {},
+			func(o *Options) { o.MinLength = 2 },
+			func(o *Options) { o.MinLength = 0 }, // single top length
+			func(o *Options) { o.SeedLengths = []int{1, 3} },
+			func(o *Options) { o.Delta = 1 },
+			func(o *Options) { o.Where = "vertices<=6" },
+			func(o *Options) { o.Where = "edges<=7 && !contains(label='2')" },
+			func(o *Options) { o.Where = "skinniness<=1 && topk(3, by=support)" },
+			func(o *Options) { o.Where = "topk(4, by=size)" },
+		}
+		if from.Measure == GraphCount {
+			// Support tightening morphs only as a constraint conjunct
+			// (anti-monotone under the graph-transaction measure).
+			targets = append(targets,
+				func(o *Options) { o.Where = "support>=2" },
+				func(o *Options) { o.Where = "support>=2 && vertices<=7" })
+		}
+		src, err := MineDB(db, from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tweak := range targets {
+			to := from
+			tweak(&to)
+			if !CanMorph(from, to) {
+				t.Fatalf("trial %d target %d: CanMorph unexpectedly false", trial, i)
+			}
+			morphed, err := Morph(src, from, to)
+			if err != nil {
+				t.Fatalf("trial %d target %d: Morph: %v", trial, i, err)
+			}
+			fresh, err := MineDB(db, to)
+			if err != nil {
+				t.Fatalf("trial %d target %d: fresh mine: %v", trial, i, err)
+			}
+			got, want := patternsJSON(t, morphed), patternsJSON(t, fresh)
+			if !bytes.Equal(got, want) {
+				t.Errorf("trial %d target %d: morphed patterns diverge from fresh mine\nmorphed: %s\nfresh:   %s",
+					trial, i, got, want)
+			}
+			if morphed.Stats.ExtensionsTried != 0 || morphed.Stats.Generated != 0 {
+				t.Errorf("trial %d target %d: morph ran a search: %+v", trial, i, morphed.Stats)
+			}
+		}
+	}
+}
+
+// Seed-length restriction is the fork-at-seed hook: mining a length
+// set must equal concatenating the per-length mines, byte for byte.
+func TestSeedLengthsPartitionBand(t *testing.T) {
+	db := randomMorphDB(7)
+	base := Options{Support: 2, Length: 3, MinLength: 1, Delta: 2}
+	for _, lens := range [][]int{{1}, {2}, {3}, {1, 3}, {3, 1, 3}, {1, 2, 3}} {
+		opt := base
+		opt.SeedLengths = lens
+		got, err := MineDB(db, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := &Result{}
+		// Canonical output orders by diameter length first, so the union
+		// concatenates per-length mines in ascending length order.
+		uniq := append([]int(nil), lens...)
+		sort.Ints(uniq)
+		seen := map[int]bool{}
+		for _, l := range uniq {
+			if seen[l] {
+				continue
+			}
+			seen[l] = true
+			one := base
+			one.MinLength = 0
+			one.Length = l
+			res, err := MineDB(db, one)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want.Patterns = append(want.Patterns, res.Patterns...)
+		}
+		if g, w := patternsJSON(t, got), patternsJSON(t, want); !bytes.Equal(g, w) {
+			t.Errorf("SeedLengths %v: restricted mine diverges from per-length union", lens)
+		}
+	}
+	bad := base
+	bad.SeedLengths = []int{4}
+	if _, err := MineDB(db, bad); err == nil {
+		t.Error("SeedLengths outside the band: want error, got nil")
+	}
+}
+
+func TestFamilyOptionsSubsumesMembers(t *testing.T) {
+	db := randomMorphDB(11)
+	members := []Options{
+		{Support: 2, Length: 3, Delta: 1, Measure: GraphCount, Where: "vertices<=7"},
+		{Support: 2, Length: 3, MinLength: 2, Delta: 2, Measure: GraphCount, Where: "support>=2"},
+		{Support: 2, Length: 2, Delta: 2, Measure: GraphCount, Where: "edges<=6 && topk(3, by=support)"},
+		{Support: 2, Length: 1, Delta: 2, Measure: GraphCount, Where: "vertices<=7 && edges<=6"},
+	}
+	fam, ok := FamilyOptions(members)
+	if !ok {
+		t.Fatal("FamilyOptions: ok=false for a mixable family")
+	}
+	if fam.Support != 2 || fam.Length != 3 || fam.MinLength != 1 || fam.Delta != 2 {
+		t.Fatalf("weakest superset mismatch: %+v", fam)
+	}
+	famRes, err := MineDB(db, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range members {
+		if !CanMorph(fam, m) {
+			t.Fatalf("member %d: CanMorph(family, member) = false", i)
+		}
+		morphed, err := Morph(famRes, fam, m)
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		fresh, err := MineDB(db, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, w := patternsJSON(t, morphed), patternsJSON(t, fresh); !bytes.Equal(g, w) {
+			t.Errorf("member %d: family-forked patterns diverge from fresh mine\nforked: %s\nfresh:  %s", i, g, w)
+		}
+	}
+
+	// A gapped length union rides on SeedLengths.
+	gapped := []Options{
+		{Support: 2, Length: 1, Delta: 2},
+		{Support: 2, Length: 3, MinLength: 3, Delta: 2},
+	}
+	fam2, ok := FamilyOptions(gapped)
+	if !ok {
+		t.Fatal("gapped family: ok=false")
+	}
+	if len(fam2.SeedLengths) != 2 || fam2.SeedLengths[0] != 1 || fam2.SeedLengths[1] != 3 {
+		t.Fatalf("gapped family: SeedLengths = %v, want [1 3]", fam2.SeedLengths)
+	}
+
+	// Unmixable families decline.
+	if _, ok := FamilyOptions(nil); ok {
+		t.Error("empty family: want ok=false")
+	}
+	if _, ok := FamilyOptions([]Options{
+		{Support: 2, Length: 2, Delta: 1, Measure: GraphCount},
+		{Support: 3, Length: 2, Delta: 1, Measure: GraphCount},
+	}); ok {
+		t.Error("sigma mix: want ok=false")
+	}
+	if _, ok := FamilyOptions([]Options{
+		{Support: 2, Length: 2, Delta: 1},
+		{Support: 2, Length: 2, Delta: 1, Measure: GraphCount},
+	}); ok {
+		t.Error("measure mix: want ok=false")
+	}
+	if _, ok := FamilyOptions([]Options{
+		{Support: 2, Length: 2, Delta: 1, MaximalOnly: true},
+	}); ok {
+		t.Error("greedy member: want ok=false")
+	}
+}

@@ -16,7 +16,9 @@
 # Two suites run: the root mining benchmarks (concurrency scaling, the
 # constrained-mine pushdown pair, and the sharded-vs-unsharded curve)
 # and the serving benchmarks in internal/server (one batch call vs N
-# sequential /v1/mine round trips over the same requests).
+# sequential /v1/mine round trips over the same requests, plus the
+# query-family pair: shared-plan execution on vs off over one batch of
+# eight family members — extensions/op is the number to watch there).
 #
 # Environment:
 #   BENCHTIME        go test -benchtime value (default 1x: one full mine
@@ -38,7 +40,7 @@ elif [[ "$OUT" =~ ^[0-9]+$ ]]; then
 fi
 BENCHTIME=${BENCHTIME:-1x}
 BENCH_RE=${BENCH_RE:-'^BenchmarkMine(Concurrency|Constrained|Sharded)'}
-BENCH_SERVER_RE=${BENCH_SERVER_RE:-'^BenchmarkServer(Sequential|Batch)'}
+BENCH_SERVER_RE=${BENCH_SERVER_RE:-'^Benchmark(Server(Sequential|Batch)|BatchFamily)'}
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT

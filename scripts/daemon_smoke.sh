@@ -149,10 +149,11 @@ curl -sf "$base/metrics" > "$workdir/metrics.json"
 jq -e '.mine.cache_hits >= 1 and .mine.runs == 1' "$workdir/metrics.json" > /dev/null \
   || { echo "FAIL: metrics say $(cat "$workdir/metrics.json")"; exit 1; }
 
-echo "== /v1/batch of duplicates performs exactly one mine"
+echo "== /v1/batch of duplicates performs no mine at all"
 # Three copies of a NEW request plus one duplicate of the cached one:
-# the batch must report 2 unique entries and 1 cache hit, and the mine
-# run counter must rise by exactly one (3 duplicates -> 1 run).
+# the batch must report 2 unique entries and 1 cache hit — and the new
+# unique entry (a tighter δ of the cached request) must be answered by
+# MORPHING the cached superset result, so the run counter must not move.
 curl -sf "$base/v1/batch" -d '{"requests":[
     {"length":4,"delta":0},
     {"length":4,"delta":0},
@@ -160,10 +161,10 @@ curl -sf "$base/v1/batch" -d '{"requests":[
     {"length":4,"delta":1}]}' > "$workdir/batch.json"
 jq -e '.items == 4 and .unique == 2 and .cache_hits == 1' "$workdir/batch.json" > /dev/null \
   || { echo "FAIL: batch accounting says $(cat "$workdir/batch.json" | jq '{items,unique,cache_hits}')"; exit 1; }
-jq -e '[.results[].source] == ["miss","duplicate","duplicate","hit"]' "$workdir/batch.json" > /dev/null \
+jq -e '[.results[].source] == ["morphed","duplicate","duplicate","hit"]' "$workdir/batch.json" > /dev/null \
   || { echo "FAIL: batch sources $(jq '[.results[].source]' "$workdir/batch.json")"; exit 1; }
 curl -sf "$base/metrics" > "$workdir/metrics2.json"
-jq -e '.mine.runs == 2 and .batch.items == 4 and .batch.unique == 2 and .batch.deduped == 2' \
+jq -e '.mine.runs == 1 and .mine.morphed == 1 and .batch.items == 4 and .batch.unique == 2 and .batch.deduped == 2' \
   "$workdir/metrics2.json" > /dev/null \
   || { echo "FAIL: post-batch metrics say $(cat "$workdir/metrics2.json")"; exit 1; }
 
@@ -171,6 +172,40 @@ echo "== batched result matches the single-request result"
 diff <(jq -S "$norm" "$workdir/served.json") \
      <(jq -S ".results[3].result | $norm" "$workdir/batch.json") \
   || { echo "FAIL: batched result differs from /v1/mine's"; exit 1; }
+
+echo "== morphing: a constrained request is forked from the cached superset"
+# The unconstrained {length:4, delta:1} result is warm; a request adding
+# an anti-monotone constraint must be served by post-filtering it
+# (X-Result-Source: morphed, no new mining run) and its patterns must be
+# byte-identical to a fresh CLI mine under the same constraint. Stats
+# are excluded: a morphed body honestly reports zero search counters.
+curl -sf -D "$workdir/morph.headers" "$base/v1/mine" \
+  -d '{"length":4,"delta":1,"where":"vertices<=4"}' > "$workdir/morphed.json"
+grep -qi '^X-Result-Source: morphed' "$workdir/morph.headers" \
+  || { echo "FAIL: constrained request not morphed: $(grep -i x-result-source "$workdir/morph.headers")"; exit 1; }
+"$workdir/bin/skinnymine" -input "$workdir/graph.txt" -support 2 -length 4 -delta 1 \
+  -where 'vertices<=4' -json > "$workdir/cli-constrained.json"
+diff <(jq -S '.patterns' "$workdir/cli-constrained.json") \
+     <(jq -S '.patterns' "$workdir/morphed.json") \
+  || { echo "FAIL: morphed patterns differ from a fresh constrained mine"; exit 1; }
+
+echo "== query family: one shared mine serves a batch of variants"
+# Two uncached requests differing only in an anti-monotone constraint
+# form a family: the weakest member carries the one mining run, the
+# other forks from it (family_shared).
+curl -sf "$base/v1/batch" -d '{"requests":[
+    {"length":3,"delta":1},
+    {"length":3,"delta":1,"where":"edges<=4"}]}' > "$workdir/family.json"
+jq -e '[.results[].source] == ["miss","family_shared"]' "$workdir/family.json" > /dev/null \
+  || { echo "FAIL: family sources $(jq '[.results[].source]' "$workdir/family.json")"; exit 1; }
+curl -sf "$base/metrics" > "$workdir/metrics-family.json"
+jq -e '.mine.morphed >= 1 and .mine.family_shared >= 1' "$workdir/metrics-family.json" > /dev/null \
+  || { echo "FAIL: optimizer counters say $(jq '.mine' "$workdir/metrics-family.json")"; exit 1; }
+"$workdir/bin/skinnymine" -input "$workdir/graph.txt" -support 2 -length 3 -delta 1 \
+  -where 'edges<=4' -json > "$workdir/cli-family.json"
+diff <(jq -S '.patterns' "$workdir/cli-family.json") \
+     <(jq -S '.results[1].result.patterns' "$workdir/family.json") \
+  || { echo "FAIL: family-forked patterns differ from a fresh constrained mine"; exit 1; }
 
 echo "== observability: request IDs, 404 accounting, latency histograms"
 rid=$(curl -sf -o /dev/null -D - "$base/healthz" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-request-id"{print $2}')
@@ -200,6 +235,10 @@ echo "== Prometheus text exposition"
 curl -sf "$base/metrics?format=prom" > "$workdir/prom.txt"
 grep -q '^skinnymine_mine_runs_total ' "$workdir/prom.txt" \
   || { echo "FAIL: prom exposition lacks mine_runs_total"; exit 1; }
+grep -q '^skinnymine_mine_morphed_total ' "$workdir/prom.txt" \
+  || { echo "FAIL: prom exposition lacks mine_morphed_total"; exit 1; }
+grep -q '^skinnymine_mine_family_shared_total ' "$workdir/prom.txt" \
+  || { echo "FAIL: prom exposition lacks mine_family_shared_total"; exit 1; }
 grep -q 'skinnymine_mine_latency_ms_bucket{le="+Inf"}' "$workdir/prom.txt" \
   || { echo "FAIL: prom exposition lacks the latency histogram"; exit 1; }
 grep -q 'skinnymine_requests_total{endpoint="mine"}' "$workdir/prom.txt" \

@@ -198,6 +198,16 @@ type Options struct {
 	// sequential path. See the package comment for the determinism
 	// guarantee.
 	Concurrency int
+	// SeedLengths, when non-empty, restricts mining to exactly the
+	// canonical diameter lengths in the set: Stage I materializes and
+	// Stage II grows only those levels, skipping the rest of the band
+	// outright. Every entry must lie within [MinLength or Length,
+	// Length]; Validate sorts and deduplicates the set in place. Because
+	// patterns partition by their stamped diameter length, the result is
+	// byte-identical to concatenating the per-length requests — the
+	// fork-at-seed-selection hook the serving layer's shared-plan batch
+	// execution builds on. Empty (the default) mines the whole band.
+	SeedLengths []int
 	// Where is a declarative constraint over the mined patterns, e.g.
 	//
 	//	"contains(label='A') && vertices<=8 && !contains(label='C') && topk(10, by=support)"
@@ -263,6 +273,9 @@ func (o Options) toCore() core.Options {
 	opt.ClosedOnly = o.ClosedOnly
 	opt.MaxPatterns = o.MaxPatterns
 	opt.Concurrency = o.Concurrency
+	if len(o.SeedLengths) > 0 {
+		opt.SeedLengths = append([]int(nil), o.SeedLengths...)
+	}
 	opt.Measure = o.measure()
 	if o.Trace != nil {
 		opt.Tracer = o.Trace.t

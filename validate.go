@@ -27,6 +27,9 @@ var (
 	ErrMaxPatterns = errors.New("max_patterns must be >= 0")
 	// ErrShards reports a negative Shards.
 	ErrShards = errors.New("shards must be >= 0")
+	// ErrSeedLengths reports a SeedLengths entry outside the band
+	// [MinLength or Length, Length].
+	ErrSeedLengths = errors.New("seed lengths must lie within the band")
 	// ErrWhere wraps a Where constraint that failed to parse.
 	ErrWhere = errors.New("invalid where constraint")
 )
@@ -53,6 +56,17 @@ func (o Options) Validate() error {
 	}
 	if o.Shards < 0 {
 		return fmt.Errorf("skinnymine: %w (got %d)", ErrShards, o.Shards)
+	}
+	if len(o.SeedLengths) > 0 {
+		lo := o.Length
+		if o.MinLength > 0 {
+			lo = o.MinLength
+		}
+		for _, l := range o.SeedLengths {
+			if l < lo || l > o.Length {
+				return fmt.Errorf("skinnymine: %w (got %d, band [%d, %d])", ErrSeedLengths, l, lo, o.Length)
+			}
+		}
 	}
 	if _, err := o.parsedWhere(); err != nil {
 		return err
